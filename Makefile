@@ -1,0 +1,43 @@
+# Convenience targets for the DC-L1 reproduction.
+
+PYTHON ?= python
+SCALE ?= 1.0
+
+.PHONY: install test bench bench-quick figures characterize clean loc
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-out:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-out:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-quick:
+	REPRO_SCALE=0.25 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) examples/paper_figures.py --all --scale $(SCALE)
+
+characterize:
+	$(PYTHON) examples/workload_characterization.py $(SCALE)
+
+experiments-md:
+	$(PYTHON) -m repro.experiments.reporting
+
+figures-svg:
+	$(PYTHON) examples/render_figures.py topology fig06 fig12
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,18 @@
+"""Bench: design-choice ablations (DESIGN.md section 6)."""
+
+from harness import bench_experiment
+
+
+def test_bench_ablations(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "ablations")
+    s = rep.summary
+    # Requested-data replies beat full-line replies on bandwidth-bound apps
+    # (Section III's argument for not shipping whole lines on NoC#1).
+    assert s["full_line_replies_slower"] == 1.0
+    # The frequency boost pays, and a 3x boost pays less per step than 2x.
+    assert s["boost2_over_boost1"] == 1.0
+    assert s["boost_diminishing_returns"] == 1.0
+    # Modulo-interleave and home-bit selection agree for power-of-two M.
+    assert abs(s["home_interleave"] - s["home_bits"]) < 0.15
+    # LRU DC-L1s are at least as good as FIFO under block-sweep reuse.
+    assert s["policy_lru"] >= s["policy_fifo"] - 0.03

@@ -1,0 +1,13 @@
+"""Bench: streaming-bypass fills composed with the final DC-L1 design."""
+
+from harness import bench_experiment
+
+
+def test_bench_ext_bypass(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "ext-bypass")
+    s = rep.summary
+    # The complementarity claim: composing per-cache bypass with the DC-L1
+    # organization is safe, engages on streaming apps, idles on reuse apps.
+    assert s["composition_safe"] == 1.0
+    assert s["streaming_engaged"] == 1.0
+    assert s["control_quiet"] == 1.0

@@ -1,0 +1,14 @@
+"""Bench: extension study — larger DC-L1s / boosted NoC#2 (Section VIII-A)."""
+
+from harness import bench_experiment
+
+
+def test_bench_ext_capacity(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "ext-capacity")
+    s = rep.summary
+    # More DC-L1 capacity never hurts and generally helps (the paper's
+    # closing expectation).
+    assert s["capacity_monotone"] == 1.0
+    assert s["boost_combined"] >= s["boost"] - 0.02
+    # The small per-range NoC#2 crossbars could legally be boosted too.
+    assert s["noc2_boost_feasible"] == 1.0

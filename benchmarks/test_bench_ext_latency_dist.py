@@ -1,0 +1,13 @@
+"""Bench: load-latency percentile comparison (tracing extension)."""
+
+from harness import bench_experiment
+
+
+def test_bench_ext_latency_dist(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "ext-latency-dist")
+    s = rep.summary
+    # The DC-L1 design collapses the *body* of the latency distribution on
+    # replication-sensitive apps (the median load becomes a DC-L1 hit)...
+    assert s["body_collapses_for_sensitive"] == 1.0
+    # ...which is exactly why the all-hits, low-parallelism C-NN suffers.
+    assert s["fast_path_slower_for_cnn"] == 1.0

@@ -1,0 +1,16 @@
+"""Bench: finite DC-L1 node queue (Q1) depth sweep."""
+
+from harness import bench_experiment
+
+
+def test_bench_ext_queues(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "ext-queues")
+    s = rep.summary
+    # The paper-equivalent buffering (~8 credits; its node holds 4 queues
+    # x 4 entries) behaves close to infinite queues on a well-behaved app;
+    # a depth of one visibly throttles a camping app.
+    assert s["depth8_close_to_infinite"] == 1.0
+    assert s["monotone_in_depth"] == 1.0
+    assert s["depth1_throttles_camping"] == 1.0
+    # Deeper queues never hurt.
+    assert s["alexnet_boost_q8"] >= s["alexnet_boost_q1"] - 0.02

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 1 (motivation/characterization)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig01(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig01")
+    # Shape: the suite reproduces the paper's classification — 12
+    # replication-sensitive apps, in near-full agreement with Figure 1.
+    assert rep.summary["classification_agreement"] >= 0.85
+    assert 10 <= rep.summary["num_replication_sensitive"] <= 14
+    # T-AlexNet tops the replication scale (paper: 95%).
+    assert rep.summary["t_alexnet_replication_ratio"] > 0.85

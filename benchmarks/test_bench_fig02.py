@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 2 (baseline L1 / NoC link utilization)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig02(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig02")
+    # Shape: the tightly-coupled L1s are badly under-utilized (paper: the
+    # maxima across all apps are 18% and 30%).
+    assert rep.summary["max_l1_port_utilization"] < 0.5
+    assert rep.summary["max_reply_link_utilization"] < 0.6
+    assert rep.summary["max_l1_port_utilization"] > 0.02

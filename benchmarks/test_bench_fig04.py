@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 4 (private DC-L1 aggregation sweep)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig04(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig04")
+    s = rep.summary
+    # Shape: aggregation reduces misses monotonically (Pr80 -> Pr10)...
+    assert s["pr80_miss_reduction"] <= s["pr40_miss_reduction"] + 0.02
+    assert s["pr40_miss_reduction"] < s["pr20_miss_reduction"] < s["pr10_miss_reduction"]
+    # ...but bandwidth loss makes deep aggregation a net loss: Pr40 is the
+    # sweet spot and Pr10 the worst (paper: +15% vs -34%).
+    assert s["pr40_speedup"] > s["pr10_speedup"]
+    assert s["pr40_speedup"] > 1.0
+    assert s["pr10_speedup"] < 1.0
+    # Perfect caches: the baseline bound beats Pr80's (4x less peak BW).
+    assert s["base_perfect_speedup"] > s["pr80_perfect_speedup"]
+    assert s["pr40_perfect_speedup"] > s["pr40_speedup"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 6 (private DC-L1 NoC area / static power)."""
+
+import pytest
+
+from harness import bench_experiment
+
+
+def test_bench_fig06(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig06")
+    s = rep.summary
+    # Calibrated analytical model: within a few points of the paper.
+    assert s["pr40_area"] == pytest.approx(0.72, abs=0.03)
+    assert s["pr20_area"] == pytest.approx(0.46, abs=0.03)
+    assert s["pr10_area"] == pytest.approx(0.33, abs=0.03)
+    assert s["pr40_static"] == pytest.approx(0.96, abs=0.03)
+    assert s["pr10_static"] < s["pr20_static"] < s["pr40_static"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 8 (Sh40 on replication-sensitive apps)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig08(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig08")
+    s = rep.summary
+    # Shape: sharing collapses the miss rate (paper: -89%) and buys a large
+    # average speedup (paper: +48%), biggest for T-AlexNet (2.9x).
+    assert s["mean_miss_reduction"] > 0.5
+    assert s["mean_speedup"] > 1.2
+    assert s["t_alexnet_speedup"] > 1.5
+    # The two exceptions: camping caps P-2MM, bandwidth caps P-3DCONV.
+    assert s["p_2mm_speedup"] < s["mean_speedup"]
+    assert s["p_3dconv_speedup"] < s["mean_speedup"]

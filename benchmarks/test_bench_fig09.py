@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 9 (Sh40 on replication-insensitive apps)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig09(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig09")
+    s = rep.summary
+    # Shape: the five poor performers lose heavily under Sh40 (paper:
+    # 40-85% drops), while the group average sits well above them.
+    assert s["poor_min_speedup"] < 0.7
+    assert s["poor_max_speedup"] < 1.0
+    assert s["mean_speedup"] > s["poor_min_speedup"]
+    # R-SC benefits: the shared organization smooths its load imbalance.
+    assert s["r_sc_speedup"] > s["poor_max_speedup"]

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 11 (cluster-count sweep)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig11(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig11")
+    s = rep.summary
+    # Shape: replication (and with it the miss rate) grows monotonically
+    # with cluster count — C1 eliminates it, C40 keeps most of it
+    # (paper: -89% / -72% / -61% / -41% / -19%).
+    assert (
+        s["c1_miss_reduction"]
+        > s["c5_miss_reduction"]
+        > s["c10_miss_reduction"]
+        > s["c20_miss_reduction"]
+        > s["c40_miss_reduction"]
+    )
+    assert s["c1_miss_reduction"] > 0.5
+    assert s["c40_miss_reduction"] < 0.45

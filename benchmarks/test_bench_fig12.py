@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 12 (clustered NoC area / static power)."""
+
+import pytest
+
+from harness import bench_experiment
+
+
+def test_bench_fig12(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig12")
+    s = rep.summary
+    assert s["c1_area"] == pytest.approx(1.69, abs=0.08)
+    assert s["c5_area"] == pytest.approx(0.55, abs=0.03)
+    assert s["c10_area"] == pytest.approx(0.50, abs=0.03)
+    assert s["c20_area"] == pytest.approx(0.55, abs=0.03)
+    assert s["c1_static"] == pytest.approx(1.57, abs=0.08)
+    assert s["c10_static"] == pytest.approx(0.84, abs=0.03)

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 13 (poor performers + crossbar frequencies)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig13(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig13")
+    s = rep.summary
+    # (b) The boost is only feasible because the clustered crossbars are
+    # small: 8x4 clocks above 1.4 GHz, 80x32 cannot (paper Fig 13b).
+    assert s["xbar_80x32_supports_2x"] == 0.0
+    assert s["xbar_8x4_supports_2x"] == 1.0
+    # (a) Boost lifts the poor performers (paper: significant recovery).
+    app_rows = [r for r in rep.rows if not str(r["app"]).startswith("xbar")]
+    for row in app_rows:
+        assert row["Sh40+C10+Boost"] >= row["Sh40+C10"] - 0.05
+    campers = {"C-RAY", "P-3MM", "P-GEMM"}
+    for row in app_rows:
+        if row["app"] in campers:
+            # Clustering relieves camping relative to Sh40.
+            assert row["Sh40+C10"] > row["Sh40"]

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 14 (overall IPC of all proposed designs)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig14(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig14")
+    s = rep.summary
+    # Shape on replication-sensitive apps (paper: 1.15 / 1.48 / 1.41 / 1.75):
+    # every design wins, Pr40 least, Boost most among clustered variants.
+    assert s["sensitive_Pr40"] > 1.0
+    assert s["sensitive_Sh40"] > s["sensitive_Pr40"]
+    assert s["sensitive_Sh40+C10"] > s["sensitive_Pr40"]
+    assert s["sensitive_Sh40+C10+Boost"] > s["sensitive_Sh40+C10"]
+    assert s["sensitive_Sh40+C10+Boost"] > 1.3
+    # Insensitive apps: Sh40 is the worst; Boost recovers most of the loss
+    # (paper: -22% vs <1%).
+    assert s["insensitive_Sh40"] < s["insensitive_Sh40+C10"]
+    assert s["insensitive_Sh40+C10+Boost"] > s["insensitive_Sh40+C10"]
+    assert s["insensitive_Sh40+C10+Boost"] > 0.85
+    # Net: the final design wins overall (paper: +27%).
+    assert s["all_Sh40+C10+Boost"] > 1.0

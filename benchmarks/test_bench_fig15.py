@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 15 (speedup S-curves)."""
+
+from harness import bench_experiment
+
+from repro.analysis.curves import ascii_s_curves
+
+
+def test_bench_fig15(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig15")
+    # Append the actual S-curve chart to the persisted artifact.
+    designs = [c for c in rep.columns if c != "rank"]
+    curves = {d: [row[d] for row in rep.rows] for d in designs}
+    chart = ascii_s_curves(curves, height=14)
+    with open(results_dir / "fig15.txt", "a") as fh:
+        fh.write("\n" + chart + "\n")
+    print(chart)
+    # Shape: the boosted clustered design pushes the S-curve tail toward the
+    # baseline, far above Sh40's collapsed tail.
+    assert rep.summary["boost_tail_above_sh40_tail"] == 1.0
+    assert rep.summary["Sh40+C10+Boost_tail"] > 0.6
+    assert rep.summary["Sh40_tail"] < 0.6
+    # Heads: the big replication-sensitive wins survive in the final design.
+    assert rep.summary["Sh40+C10+Boost_head"] > 1.5

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 16 (miss rates + replica counts)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig16(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig16")
+    s = rep.summary
+    # Replica ordering (paper: 7.7 baseline > 5.7 Pr40 > 2.8 Boost > 1 Sh40).
+    assert (
+        s["baseline_replicas"]
+        > s["Pr40_replicas"]
+        > s["Sh40+C10+Boost_replicas"]
+        > s["Sh40_replicas"]
+    )
+    assert s["Sh40_replicas"] <= 1.0
+    assert s["baseline_replicas"] > 3.0
+    # Miss-rate reduction ordering mirrors replication control.
+    assert s["Sh40_missN"] < s["Sh40+C10_missN"] < s["Pr40_missN"] < 1.0

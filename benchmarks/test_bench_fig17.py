@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 17 (DC-L1 data-port utilization S-curves)."""
+
+from harness import bench_experiment
+
+
+def test_bench_fig17(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig17")
+    # Shape: every DC-L1 design utilizes its (fewer) data ports better than
+    # the 80 baseline ports (the paper's inefficiency #2 fix).
+    assert rep.summary["all_designs_above_baseline"] == 1.0
+    assert rep.summary["Sh40+C10+Boost_mean_util"] > rep.summary["Baseline_mean_util"]

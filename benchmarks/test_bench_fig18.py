@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 18 (NoC power breakdown + area accounting)."""
+
+import pytest
+
+from harness import bench_experiment
+
+
+def test_bench_fig18(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "fig18")
+    s = rep.summary
+    # Power shape (paper: static -16%, dynamic +20%, total -2%).
+    assert s["static_norm"] < 0.95
+    assert s["dynamic_norm"] > 1.0
+    assert s["total_norm"] < 1.15
+    # Energy falls with runtime (paper: -35%); efficiency rises.
+    assert s["energy_norm"] < 1.0
+    assert s["perf_per_energy_gain"] > s["perf_per_watt_gain"] > 1.0
+    # Area accounting matches the paper's CACTI numbers.
+    assert s["queue_overhead"] == pytest.approx(0.0625, abs=0.002)
+    assert s["cache_area_saving"] == pytest.approx(0.08, abs=0.01)
+    assert s["noc_area_norm"] == pytest.approx(0.50, abs=0.03)

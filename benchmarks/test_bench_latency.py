@@ -1,0 +1,14 @@
+"""Bench: regenerate the latency analysis (Section VIII)."""
+
+from harness import bench_experiment
+
+
+def test_bench_latency(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "latency")
+    s = rep.summary
+    # The DC-L1 access takes 30 vs the baseline's 28 cycles (2x capacity).
+    assert s["dcl1_latency"] == 30.0
+    assert s["baseline_l1_latency"] == 28.0
+    # Yet the mean round trip *falls* on the replication-sensitive apps
+    # (paper: -53%) because far more requests are served at the L1 level.
+    assert s["rtt_reduction_sensitive"] > 0.2

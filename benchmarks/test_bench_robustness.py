@@ -1,0 +1,13 @@
+"""Bench: trace-seed robustness of the headline comparison."""
+
+from harness import bench_experiment
+
+
+def test_bench_robustness(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "robustness")
+    s = rep.summary
+    # The headline (large replication-sensitive speedup) must hold for
+    # every trace variant with small spread — it is a property of the
+    # workload distribution, not of one RNG stream.
+    assert s["conclusion_stable"] == 1.0
+    assert s["relative_spread"] < 0.15

@@ -1,0 +1,12 @@
+"""Bench: regenerate Section II-A's single-shared-L1 hypothetical."""
+
+from harness import bench_experiment
+
+
+def test_bench_sec2_single_l1(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "sec2c")
+    # Shape: eliminating replication collapses the miss rate (paper: -89.5%,
+    # Tango -99%) and yields a large speedup (paper: 2.9x).
+    assert rep.summary["mean_miss_rate_reduction"] > 0.6
+    assert rep.summary["tango_miss_rate_reduction"] > 0.8
+    assert rep.summary["mean_speedup"] > 1.5

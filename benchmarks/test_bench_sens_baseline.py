@@ -1,0 +1,19 @@
+"""Bench: regenerate the boosted-baselines study (Section VIII-A)."""
+
+import pytest
+
+from harness import bench_experiment
+
+
+def test_bench_sens_baseline(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "sens-base")
+    s = rep.summary
+    # Shape: strengthened baselines gain, but stay well below the DC-L1
+    # design (paper: 33-36% vs 75%).
+    assert s["cache_boosted_speedup"] > 1.0
+    assert s["dcl1_boost_speedup"] > s["cache_boosted_speedup"]
+    assert s["dcl1_boost_speedup"] > s["noc_boosted_speedup"]
+    # And they are expensive/infeasible: ~84% more cache area; the 80x32
+    # crossbar cannot clock 2x.
+    assert s["cache_area_overhead"] == pytest.approx(0.84, abs=0.06)
+    assert s["noc_boost_feasible"] == 0.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate the CTA-scheduler sensitivity study (Section VIII-A)."""
+
+from harness import bench_experiment
+
+
+def test_bench_sens_cta(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "sens-cta")
+    s = rep.summary
+    # Shape: a locality-aware scheduler trims but does not eliminate the
+    # benefit (paper: 75% -> 46%).
+    assert s["distributed_speedup"] < s["round_robin_speedup"]
+    assert s["distributed_speedup"] > 1.1

@@ -1,0 +1,12 @@
+"""Bench: regenerate the 120-core system-size study (Section VIII-A)."""
+
+from harness import bench_experiment
+
+
+def test_bench_sens_size(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "sens-size")
+    s = rep.summary
+    # Shape: the trend survives scaling (paper: +67% sensitive, ~0%
+    # insensitive on 120 cores / 60 DC-L1s / 48 L2s / 24 channels).
+    assert s["sensitive_speedup_120"] > 1.25
+    assert s["insensitive_speedup_120"] > 0.8

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (NoC shapes + peak L1 bandwidth)."""
+
+from harness import bench_experiment
+
+
+def test_bench_table1(benchmark, runner, results_dir):
+    rep = bench_experiment(benchmark, runner, results_dir, "tab1")
+    # Analytical: must match the paper exactly.
+    assert rep.summary["pr80_drop"] == 4.0
+    assert rep.summary["pr40_drop"] == 8.0
+    assert rep.summary["pr20_drop"] == 16.0
+    assert rep.summary["pr10_drop"] == 32.0

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Build a custom application profile and study how DC-L1 designs react.
+
+This example constructs a synthetic workload from scratch — you choose how
+much data is shared between cores, how much temporal locality the streams
+have, and whether the addresses camp on a few home DC-L1s — and sweeps it
+across the paper's designs.  It is the template for studying *your* app's
+behaviour under decoupled L1 designs.
+
+Usage::
+
+    python examples/custom_workload.py [shared_fraction] [camp_fraction]
+
+Defaults: shared_fraction 0.8, camp_fraction 0.0.  Try::
+
+    python examples/custom_workload.py 0.8 0.0    # replication-sensitive
+    python examples/custom_workload.py 0.0 0.0    # private: DC-L1 neutral
+    python examples/custom_workload.py 0.8 0.9    # camping: Sh40 collapses
+"""
+
+import sys
+
+from repro import AppProfile, DesignSpec, SimConfig, simulate
+from repro.analysis.tables import format_table
+
+DESIGNS = [
+    DesignSpec.baseline(),
+    DesignSpec.private(40),
+    DesignSpec.shared(40),
+    DesignSpec.clustered(40, 10),
+    DesignSpec.clustered(40, 10, boost=2.0),
+]
+
+
+def main() -> None:
+    shared_fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.8
+    camp_fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.0
+
+    profile = AppProfile(
+        name="my-app",
+        num_ctas=640,
+        accesses_per_cta=96,
+        wavefront_slots=8,
+        compute_gap=3.0,
+        mlp=3,
+        # 600 shared lines: larger than one 128-line L1, smaller than the
+        # 1024-line per-cluster capacity of Sh40+C10.
+        shared_lines=600,
+        shared_fraction=shared_fraction,
+        private_lines=256,
+        block_lines=8,
+        block_repeats=1,
+        camp_fraction=camp_fraction,
+        camp_width=4,
+        camp_shared=True,
+        store_fraction=0.05,
+    )
+    cfg = SimConfig(scale=1.0)
+
+    print(f"Custom profile: shared_fraction={shared_fraction:g}, "
+          f"camp_fraction={camp_fraction:g}\n")
+    base = None
+    rows = []
+    for spec in DESIGNS:
+        res = simulate(profile, spec, cfg)
+        if base is None:
+            base = res
+        rows.append([
+            spec.label,
+            f"{res.ipc:.2f}",
+            f"{res.speedup_vs(base):.2f}x",
+            f"{res.l1_miss_rate:.1%}",
+            f"{res.replication_ratio:.1%}",
+            f"{res.l1_port_util_max:.1%}",
+            f"{res.load_rtt_mean:.0f}",
+        ])
+    print(format_table(
+        ["design", "IPC", "speedup", "miss", "replication", "port util", "RTT"],
+        rows))
+
+    print(
+        "\nReading the table: replication shrinks with sharing/clustering; "
+        "camping shows up as a collapsed Sh40 row that the clustered design "
+        "recovers (ten home DC-L1s instead of one)."
+    )
+
+
+if __name__ == "__main__":
+    main()

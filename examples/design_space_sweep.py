@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space exploration: aggregation x clustering x frequency boost.
+
+Sweeps the two knobs the paper exposes —
+
+* **aggregation** ``Y`` (how many DC-L1 nodes the 80 per-core L1s merge
+  into: Pr80 ... Pr10), and
+* **sharing granularity** ``Z`` (how many clusters the shared organization
+  is split into: C1 = fully shared ... CY = fully private),
+
+on one application, and reports speedup, miss rate and the analytical NoC
+area/static power of every point, so you can see the paper's Pr40 / C10
+sweet spot emerge.
+
+Usage::
+
+    python examples/design_space_sweep.py [app] [scale]
+
+Defaults: T-SqueezeNet at scale 0.5.  Try a camping app (P-2MM) or a
+bandwidth-sensitive one (P-2DCONV) to watch the trade-offs move.
+"""
+
+import sys
+
+from repro import DesignSpec, SimConfig, get_app, simulate
+from repro.analysis.tables import format_table
+from repro.noc.dsent import DsentModel, design_inventory
+
+
+def evaluate(app, spec, cfg, base):
+    res = simulate(app, spec, cfg)
+    inv = design_inventory(spec, cfg.gpu.num_cores, cfg.gpu.num_l2_slices)
+    base_inv = design_inventory(DesignSpec.baseline(), cfg.gpu.num_cores,
+                                cfg.gpu.num_l2_slices)
+    return [
+        spec.label,
+        f"{res.speedup_vs(base):.2f}x",
+        f"{res.l1_miss_rate:.1%}",
+        f"{res.mean_replicas:.1f}",
+        f"{DsentModel.area_units(inv) / DsentModel.area_units(base_inv):.2f}",
+        f"{DsentModel.static_units(inv) / DsentModel.static_units(base_inv):.2f}",
+    ]
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "T-SqueezeNet"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    app = get_app(app_name)
+    cfg = SimConfig(scale=scale)
+    base = simulate(app, DesignSpec.baseline(), cfg)
+
+    print(f"Design-space sweep on {app.name} (scale {scale:g}, baseline IPC "
+          f"{base.ipc:.2f})\n")
+
+    rows = []
+    print("Aggregation sweep (private DC-L1s, Section IV):")
+    for y in (80, 40, 20, 10):
+        rows.append(evaluate(app, DesignSpec.private(y), cfg, base))
+    print(format_table(
+        ["design", "speedup", "miss", "replicas", "NoC area", "NoC static"], rows))
+
+    rows = []
+    print("\nClustering sweep at Y=40 (Sections V-VI):")
+    for z in (1, 5, 10, 20, 40):
+        rows.append(evaluate(app, DesignSpec.clustered(40, z, label=f"Sh40+C{z}"),
+                             cfg, base))
+    rows.append(evaluate(app, DesignSpec.clustered(40, 10, boost=2.0), cfg, base))
+    print(format_table(
+        ["design", "speedup", "miss", "replicas", "NoC area", "NoC static"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Multiprogramming: two kernels co-scheduled on one GPU.
+
+Composes two applications into a single workload (interleaved CTAs) and
+asks whether the clustered shared DC-L1 design still pays off when
+unrelated kernels contend for the same DC-L1 capacity — and how much of
+the benefit comes from the kernels actually *sharing* data.
+
+Three scenarios on Sh40+C10+Boost vs the private-L1 baseline:
+
+1. each kernel alone,
+2. co-scheduled, sharing their common address space,
+3. co-scheduled with isolated footprints (no inter-kernel sharing).
+
+Usage::
+
+    python examples/multiprogram.py [appA] [appB] [scale]
+
+Defaults: T-SqueezeNet + C-BFS at scale 0.4.
+"""
+
+import sys
+
+from repro import DesignSpec, SimConfig, get_app, simulate
+from repro.analysis.tables import format_table
+from repro.workloads.generator import generate_workload
+from repro.workloads.mix import footprint_overlap, interleave
+
+BOOST = DesignSpec.clustered(40, 10, boost=2.0)
+
+
+def evaluate(workload, cfg):
+    base = simulate(workload, DesignSpec.baseline(), cfg)
+    dcl1 = simulate(workload, BOOST, cfg)
+    return base, dcl1
+
+
+def main() -> None:
+    app_a = sys.argv[1] if len(sys.argv) > 1 else "T-SqueezeNet"
+    app_b = sys.argv[2] if len(sys.argv) > 2 else "C-BFS"
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.4
+    cfg = SimConfig(scale=1.0)  # mixing already carries the scaled traces
+
+    wa = generate_workload(get_app(app_a), scale)
+    wb = generate_workload(get_app(app_b), scale)
+    print(f"{app_a} + {app_b} (scale {scale:g}); "
+          f"footprint overlap {footprint_overlap(wa, wb):.1%}\n")
+
+    rows = []
+    for label, workload in (
+        (f"{app_a} alone", wa),
+        (f"{app_b} alone", wb),
+        ("co-scheduled (shared)", interleave([wa, wb])),
+        ("co-scheduled (isolated)", interleave([wa, wb], isolate=True)),
+    ):
+        base, dcl1 = evaluate(workload, cfg)
+        rows.append([
+            label,
+            f"{dcl1.speedup_vs(base):.2f}x",
+            f"{base.l1_miss_rate:.1%}",
+            f"{dcl1.l1_miss_rate:.1%}",
+            f"{dcl1.mean_replicas:.1f}",
+        ])
+    print(format_table(
+        ["scenario", "DC-L1 speedup", "base miss", "DC-L1 miss", "replicas"],
+        rows))
+    print(
+        "\nIsolated co-scheduling needs twice the capacity (higher DC-L1 "
+        "miss); with genuinely shared data the clustered caches hold one "
+        "copy for both kernels."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate any (or every) table/figure of the paper from the command line.
+
+Thin CLI over :mod:`repro.experiments`: each experiment prints the same
+rows/series the paper reports, plus a measured-vs-paper headline summary.
+
+Usage::
+
+    python examples/paper_figures.py --list
+    python examples/paper_figures.py fig14
+    python examples/paper_figures.py fig06 fig12 tab1     # analytical: instant
+    python examples/paper_figures.py --all --scale 0.5
+
+Simulation results are memoized within one invocation, so figure groups
+that share runs (fig14/15/16/17) cost their sims once.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import Runner
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sim.config import SimConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (1.0 = calibrated)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    ids = list(EXPERIMENTS) if args.all else args.experiments
+    if not ids:
+        parser.error("no experiments given (use --all or --list)")
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; see --list")
+
+    runner = Runner(SimConfig(scale=args.scale))
+    for exp_id in ids:
+        t0 = time.time()
+        report = run_experiment(exp_id, runner)
+        print(report.render())
+        print(f"({time.time() - t0:.1f}s, {runner.sims_run} sims so far)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Render paper figures as SVG charts (no plotting libraries needed).
+
+Runs the corresponding experiments (memoized within the invocation) and
+writes standalone SVGs under ``figures/``:
+
+* fig06 / fig12 — NoC area & static power bars (analytical, instant),
+* fig14 — per-app speedup bars for all four proposed designs,
+* fig15 — the speedup S-curves,
+* fig17 — L1/DC-L1 port-utilization S-curves,
+* fig01 — replication / miss-rate characterization bars.
+
+Usage::
+
+    python examples/render_figures.py [--scale 0.5] [ids...]
+
+Default ids: fig06 fig12 (instant).  Add fig14/fig15/fig17/fig01 for the
+simulation-backed charts.
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis import svg
+from repro.experiments.base import Runner
+from repro.experiments.registry import run_experiment
+from repro.sim.config import SimConfig
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "figures"
+
+
+def render_area_power(report, out_name):
+    cats = [str(r["config"]) for r in report.rows]
+    chart = svg.bar_chart(
+        cats,
+        {
+            "NoC area": [r["area_norm"] for r in report.rows],
+            "static power": [r["static_power_norm"] for r in report.rows],
+        },
+        title=report.title,
+        y_label="normalized to baseline",
+        baseline=1.0,
+    )
+    return svg.write(chart, OUT / out_name)
+
+
+def render_fig14(report):
+    designs = [c for c in report.columns if c not in ("app", "sensitive")]
+    cats = [r["app"] for r in report.rows]
+    chart = svg.bar_chart(
+        cats,
+        {d: [r[d] for r in report.rows] for d in designs},
+        title="Figure 14: IPC normalized to the private-L1 baseline",
+        y_label="speedup",
+        width=1400,
+        baseline=1.0,
+    )
+    return svg.write(chart, OUT / "fig14_speedups.svg")
+
+
+def render_fig15(report):
+    designs = [c for c in report.columns if c != "rank"]
+    chart = svg.line_chart(
+        {d: [r[d] for r in report.rows] for d in designs},
+        title="Figure 15: speedup S-curves (apps sorted per design)",
+        y_label="speedup vs baseline",
+        x_label="applications (ascending)",
+    )
+    return svg.write(chart, OUT / "fig15_scurve.svg")
+
+
+def render_fig17(report):
+    designs = [c for c in report.columns if c != "app"]
+    chart = svg.line_chart(
+        {d: [r[d] for r in report.rows] for d in designs},
+        title="Figure 17: max L1/DC-L1 data-port utilization",
+        y_label="utilization",
+        x_label="applications (ascending baseline)",
+    )
+    return svg.write(chart, OUT / "fig17_utilization.svg")
+
+
+def render_fig01(report):
+    cats = [r["app"] for r in report.rows]
+    chart = svg.bar_chart(
+        cats,
+        {
+            "replication ratio": [r["replication_ratio"] for r in report.rows],
+            "L1 miss rate": [r["l1_miss_rate"] for r in report.rows],
+        },
+        title="Figure 1: replication ratio and L1 miss rate (ascending replication)",
+        y_label="fraction",
+        width=1400,
+        y_max=1.05,
+    )
+    return svg.write(chart, OUT / "fig01_characterization.svg")
+
+
+def render_topologies(_report=None):
+    """The paper's design diagrams (Figures 5, 7 and 10) for Pr40, Sh40
+    and Sh40+C10+Boost."""
+    from repro.analysis.diagram import design_diagram
+    from repro.core.designs import DesignSpec
+
+    paths = []
+    for spec in (DesignSpec.private(40), DesignSpec.shared(40),
+                 DesignSpec.clustered(40, 10, boost=2.0)):
+        name = f"topology_{spec.label.replace('+', '_')}.svg"
+        paths.append(svg.write(design_diagram(spec), OUT / name))
+    return paths[-1]
+
+
+RENDERERS = {
+    "topology": render_topologies,
+    "fig06": lambda rep: render_area_power(rep, "fig06_private_area_power.svg"),
+    "fig12": lambda rep: render_area_power(rep, "fig12_clustered_area_power.svg"),
+    "fig14": render_fig14,
+    "fig15": render_fig15,
+    "fig17": render_fig17,
+    "fig01": render_fig01,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", default=["fig06", "fig12"])
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+    unknown = [i for i in args.ids if i not in RENDERERS]
+    if unknown:
+        parser.error(f"no renderer for {unknown}; choose from {sorted(RENDERERS)}")
+    runner = Runner(SimConfig(scale=args.scale))
+    for exp_id in args.ids:
+        # "topology" renders pure geometry — no experiment behind it.
+        report = None if exp_id == "topology" else run_experiment(exp_id, runner)
+        path = RENDERERS[exp_id](report)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

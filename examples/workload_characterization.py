@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Characterize the 28-application suite and classify replication
+sensitivity with the paper's rule (Figure 1 / Section II-A).
+
+For every application this measures, on the private-L1 baseline:
+
+* replication ratio (fraction of L1 misses resident in a sibling L1),
+* L1 miss rate,
+* speedup under a 16x larger L1,
+
+then applies the three-part rule (>25% replication AND >50% miss rate AND
+>5% capacity speedup) and compares against the paper's classification.
+
+Usage::
+
+    python examples/workload_characterization.py [scale]
+
+Note: the characterization is volume-dependent — at very small scales the
+capacity-sensitivity criterion weakens (fewer re-touches per line), so use
+scale >= 0.5 for a faithful classification.
+"""
+
+import sys
+
+from repro import DesignSpec, SimConfig, all_apps, simulate
+from repro.analysis.classify import classify
+from repro.analysis.tables import format_table
+from repro.workloads.suite import REPLICATION_SENSITIVE
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    cfg = SimConfig(scale=scale)
+    cfg16 = SimConfig(scale=scale, l1_latency_override=cfg.gpu.l1_latency)
+    big = DesignSpec.baseline(l1_size_mult=16.0)
+
+    rows = []
+    agree = 0
+    print(f"Characterizing 28 applications at scale {scale:g} (two runs each)...")
+    for prof in all_apps():
+        base = simulate(prof, DesignSpec.baseline(), cfg)
+        big_res = simulate(prof, big, cfg16)
+        row = classify(base, big_res)
+        expected = prof.name in REPLICATION_SENSITIVE
+        agree += row.replication_sensitive == expected
+        rows.append([
+            row.app,
+            f"{row.replication_ratio:.1%}",
+            f"{row.l1_miss_rate:.1%}",
+            f"{row.speedup_16x:.2f}x",
+            "sensitive" if row.replication_sensitive else "-",
+            "sensitive" if expected else "-",
+        ])
+    rows.sort(key=lambda r: float(r[1].rstrip("%")))
+    print(format_table(
+        ["app", "replication", "miss rate", "16x speedup", "measured", "paper"],
+        rows,
+        title="\nFigure 1 characterization (ascending replication ratio)",
+    ))
+    print(f"\nClassification agreement with the paper: {agree}/28")
+
+
+if __name__ == "__main__":
+    main()

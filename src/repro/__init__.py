@@ -1,0 +1,49 @@
+"""repro — reproduction of "Analyzing and Leveraging Decoupled L1 Caches in GPUs".
+
+This package implements, in pure Python, the full system described in the
+HPCA 2021 paper by Ibrahim, Kayiran, Eckert, Loh, and Jog:
+
+* a trace-driven, event-based GPU timing model (cores, wavefronts, caches,
+  two NoCs, L2 slices, memory controllers) — the simulation substrate,
+* the paper's contribution: DeCoupled-L1 (DC-L1) cache designs — private
+  aggregated (``PrY``), fully shared (``ShY``), clustered shared
+  (``ShY+CZ``) and the frequency-boosted variant (``+Boost``),
+* analytical NoC area / power / max-frequency models (DSENT-like) and a
+  cache area model (CACTI-like),
+* a 28-application synthetic workload suite calibrated to the paper's
+  Figure 1 characterization, and
+* one experiment module per table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import simulate, DesignSpec, get_app
+
+    baseline = simulate(get_app("T-AlexNet"), DesignSpec.baseline())
+    boosted = simulate(get_app("T-AlexNet"), DesignSpec.clustered(40, 10, boost=2.0))
+    print(boosted.ipc / baseline.ipc)
+"""
+
+from repro.core.designs import DesignSpec, DesignKind
+from repro.sim.config import SimConfig, GPUConfig
+from repro.sim.results import SimResult
+from repro.sim.system import GPUSystem, simulate
+from repro.workloads.profile import AppProfile
+from repro.workloads.suite import APP_NAMES, get_app, all_apps, replication_sensitive_apps
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignSpec",
+    "DesignKind",
+    "SimConfig",
+    "GPUConfig",
+    "SimResult",
+    "GPUSystem",
+    "simulate",
+    "AppProfile",
+    "APP_NAMES",
+    "get_app",
+    "all_apps",
+    "replication_sensitive_apps",
+    "__version__",
+]

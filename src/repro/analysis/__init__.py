@@ -1,0 +1,18 @@
+"""Metrics, classification and tabulation helpers for the experiments."""
+
+from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
+from repro.analysis.metrics import amean, geomean, normalize, s_curve
+from repro.analysis.tables import format_table, percent, ratio
+
+__all__ = [
+    "CharacterizationRow",
+    "classify",
+    "is_replication_sensitive",
+    "amean",
+    "geomean",
+    "normalize",
+    "s_curve",
+    "format_table",
+    "percent",
+    "ratio",
+]

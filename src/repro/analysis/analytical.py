@@ -1,0 +1,157 @@
+"""Closed-form throughput bounds (bottleneck analysis).
+
+The paper's performance arguments are bottleneck arguments: the baseline
+is DRAM- or L2-bound because private L1s filter little; shared DC-L1s move
+the bottleneck to the (smaller) peak L1 bandwidth; +Boost raises that
+ceiling back.  This module computes those ceilings in closed form from a
+design point plus *measured* cache behaviour, giving an analytical
+cross-check of the simulator: simulated throughput must stay at or below
+(and, when saturated, near) the tightest ceiling.
+
+For a design with miss rate ``m`` (L1 level) and L2 miss rate ``m2``,
+per-core demand bounded by the issue port, the sustainable access rate
+(accesses/cycle, whole GPU) is::
+
+    min( num_cores / (1 + gap)              -- issue front-ends
+       , L1 ports                            -- bank/reply-link ceiling
+       , L2 service / m                      -- L2 bank occupancy
+       , DRAM service / (m * m2)             -- pin bandwidth
+       , outstanding / round-trip            -- latency x parallelism
+       )
+
+Every term is derived from `GPUConfig`/`DesignSpec` the same way Table I
+derives peak L1 bandwidth.  :func:`validate_against` packages the
+simulator-vs-bound comparison used by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.designs import DesignKind, DesignSpec
+from repro.core.peak_bw import peak_l1_bandwidth
+from repro.sim.config import GPUConfig
+from repro.sim.results import SimResult
+from repro.workloads.profile import AppProfile
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Access-rate ceilings (accesses per core-cycle, whole GPU)."""
+
+    issue: float
+    l1_ports: float
+    l2_service: float
+    dram: float
+    latency: float
+
+    @property
+    def binding(self) -> str:
+        """Name of the tightest ceiling."""
+        items = self.as_dict()
+        return min(items, key=items.get)
+
+    @property
+    def tightest(self) -> float:
+        return min(self.as_dict().values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "issue": self.issue,
+            "l1_ports": self.l1_ports,
+            "l2_service": self.l2_service,
+            "dram": self.dram,
+            "latency": self.latency,
+        }
+
+
+def throughput_bounds(
+    spec: DesignSpec,
+    profile: AppProfile,
+    gpu: Optional[GPUConfig] = None,
+    l1_miss_rate: float = 1.0,
+    l2_miss_rate: float = 1.0,
+    round_trip: Optional[float] = None,
+) -> ThroughputBounds:
+    """Compute the five ceilings for a design/workload pair.
+
+    ``l1_miss_rate``/``l2_miss_rate`` may come from a simulation or an
+    estimate; the defaults (1.0) give conservative, workload-independent
+    bounds.
+    """
+    gpu = gpu or GPUConfig()
+    if not 0.0 <= l1_miss_rate <= 1.0 or not 0.0 <= l2_miss_rate <= 1.0:
+        raise ValueError("miss rates must be fractions")
+
+    # Issue front-ends: one memory instruction per 1+gap cycles per core.
+    issue = gpu.num_cores / (1.0 + profile.compute_gap)
+
+    # L1-level ports: baseline banks serve one access/cycle each; DC-L1
+    # replies serialize on the NoC#1 reply links (Table I).
+    if spec.kind in (DesignKind.BASELINE, DesignKind.CDXBAR):
+        l1_ports = float(gpu.num_cores)
+    else:
+        bw = peak_l1_bandwidth(spec, gpu.num_cores, gpu.line_bytes, gpu.flit_bytes)
+        per_access_bytes = min(profile.request_bytes, gpu.line_bytes)
+        # A reply occupies its link for ceil(bytes/flit) flit times.
+        flits = math.ceil(per_access_bytes / gpu.flit_bytes)
+        l1_ports = bw.bytes_per_cycle / (flits * gpu.flit_bytes)
+
+    # L2 banks: misses only, each occupying a bank for l2_service cycles.
+    m = max(l1_miss_rate, 1e-9)
+    l2_service = gpu.num_l2_slices / gpu.l2_service / m
+
+    # DRAM: line fills for L1-level misses that also miss in L2.
+    m2 = max(l1_miss_rate * l2_miss_rate, 1e-9)
+    dram = gpu.num_channels * gpu.dram_bank_groups / gpu.dram_service / m2
+
+    # Latency x parallelism (Little's law), if a round trip is known.
+    if round_trip and round_trip > 0:
+        window = profile.wavefront_slots * profile.mlp * gpu.num_cores
+        latency = window / round_trip
+    else:
+        latency = float("inf")
+
+    return ThroughputBounds(issue, l1_ports, l2_service, dram, latency)
+
+
+def measured_rate(result: SimResult) -> float:
+    """Observed L1-level access rate (accesses/cycle) of a run."""
+    if result.cycles <= 0:
+        return 0.0
+    return (result.loads + result.stores) / result.cycles
+
+
+def validate_against(
+    result: SimResult,
+    spec: DesignSpec,
+    profile: AppProfile,
+    gpu: Optional[GPUConfig] = None,
+    tolerance: float = 1.10,
+) -> Dict[str, float]:
+    """Compare a simulation against its analytical ceiling.
+
+    Returns a dict with the measured rate, the tightest bound, their ratio
+    and the binding resource.  The ratio must stay below ``tolerance``
+    (reservation models can transiently exceed a fluid bound by small
+    amounts at low utilization, hence the default 10% headroom).
+    """
+    bounds = throughput_bounds(
+        spec,
+        profile,
+        gpu=gpu,
+        l1_miss_rate=result.l1_miss_rate,
+        l2_miss_rate=result.l2_miss_rate,
+        round_trip=result.load_rtt_mean,
+    )
+    rate = measured_rate(result)
+    tightest = bounds.tightest
+    return {
+        "measured_rate": rate,
+        "bound": tightest,
+        "ratio": rate / tightest if tightest > 0 else float("inf"),
+        "binding": bounds.binding,
+        "within_tolerance": float(rate <= tightest * tolerance),
+    }

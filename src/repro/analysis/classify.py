@@ -1,0 +1,68 @@
+"""Replication-sensitivity classification (Section II-A's rule).
+
+The paper marks an application replication-sensitive when all three hold:
+
+1. replication ratio > 25% (a meaningful share of misses could have been
+   served by a sibling L1),
+2. L1 miss rate > 50% (the cache is actually struggling),
+3. speedup > 5% with a 16x larger L1 (the app responds to capacity).
+
+:func:`classify` applies the rule to measured baseline + 16x runs; the
+fig01 experiment uses it to *verify* the suite's intended classification
+rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimResult
+
+REPLICATION_THRESHOLD = 0.25
+MISS_RATE_THRESHOLD = 0.50
+CAPACITY_SPEEDUP_THRESHOLD = 1.05
+
+
+@dataclass(frozen=True)
+class CharacterizationRow:
+    """Figure 1's per-application characterization."""
+
+    app: str
+    replication_ratio: float
+    l1_miss_rate: float
+    speedup_16x: float
+    replication_sensitive: bool
+
+    def __str__(self) -> str:
+        tag = "sensitive" if self.replication_sensitive else "insensitive"
+        return (
+            f"{self.app:14s} repl={self.replication_ratio:6.1%} "
+            f"miss={self.l1_miss_rate:6.1%} 16x={self.speedup_16x:5.2f}  [{tag}]"
+        )
+
+
+def is_replication_sensitive(
+    replication_ratio: float, l1_miss_rate: float, speedup_16x: float
+) -> bool:
+    """Apply the paper's three-part rule."""
+    return (
+        replication_ratio > REPLICATION_THRESHOLD
+        and l1_miss_rate > MISS_RATE_THRESHOLD
+        and speedup_16x > CAPACITY_SPEEDUP_THRESHOLD
+    )
+
+
+def classify(baseline: SimResult, big_cache: SimResult) -> CharacterizationRow:
+    """Characterize one application from its baseline and 16x-L1 runs."""
+    if baseline.app != big_cache.app:
+        raise ValueError(f"mismatched apps: {baseline.app} vs {big_cache.app}")
+    speedup = big_cache.ipc / baseline.ipc if baseline.ipc > 0 else 0.0
+    return CharacterizationRow(
+        app=baseline.app,
+        replication_ratio=baseline.replication_ratio,
+        l1_miss_rate=baseline.l1_miss_rate,
+        speedup_16x=speedup,
+        replication_sensitive=is_replication_sensitive(
+            baseline.replication_ratio, baseline.l1_miss_rate, speedup
+        ),
+    )

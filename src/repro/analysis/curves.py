@@ -1,0 +1,81 @@
+"""ASCII curve rendering.
+
+The paper presents several results as S-curves (Figures 2, 15, 17).  The
+benchmark harness is text-only, so this module renders small, legible
+ASCII charts: one column per rank, one row per value bucket.  Useful in
+terminals, CI logs, and the rendered ``benchmarks/results`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_curve(
+    values: Sequence[float],
+    height: int = 10,
+    y_min: float = None,
+    y_max: float = None,
+    marker: str = "*",
+) -> str:
+    """Render one series as an ASCII chart (index on x, value on y)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    lo = min(values) if y_min is None else y_min
+    hi = max(values) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    grid = [[" "] * len(values) for _ in range(height)]
+    for x, v in enumerate(values):
+        frac = (min(max(v, lo), hi) - lo) / span
+        y = round(frac * (height - 1))
+        grid[height - 1 - y][x] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        level = hi - span * i / (height - 1)
+        lines.append(f"{level:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * len(values))
+    return "\n".join(lines)
+
+
+def ascii_s_curves(
+    curves: Dict[str, Sequence[float]],
+    height: int = 12,
+) -> str:
+    """Overlay several pre-sorted series, one marker per series.
+
+    Later series overwrite earlier ones where they collide; the legend maps
+    markers to names.
+    """
+    if not curves:
+        raise ValueError("nothing to plot")
+    lengths = {len(v) for v in curves.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    width = lengths.pop()
+    markers = "*o+x#@%&"
+    if len(curves) > len(markers):
+        raise ValueError(f"at most {len(markers)} series supported")
+    lo = min(min(v) for v in curves.values())
+    hi = max(max(v) for v in curves.values())
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[Tuple[str, str]] = []
+    for marker, (name, series) in zip(markers, curves.items()):
+        legend.append((marker, name))
+        for x, v in enumerate(series):
+            frac = (v - lo) / span
+            y = round(frac * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        level = hi - span * i / (height - 1)
+        lines.append(f"{level:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append("legend: " + ", ".join(f"{m} {n}" for m, n in legend))
+    return "\n".join(lines)

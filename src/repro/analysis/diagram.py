@@ -1,0 +1,173 @@
+"""Topology diagrams (the paper's Figures 5, 7 and 10 as SVG).
+
+Renders a :class:`~repro.core.designs.DesignSpec` as a three-tier diagram:
+cores on top, DC-L1 nodes in the middle (coloured by the address range
+they home, the paper's hatching), L2 slices at the bottom (coloured by the
+range they serve).  Crossbars appear as labelled bus bars; clusters as
+rounded outlines.  Baseline/CDXBar designs draw their core-side L1s inside
+the cores.
+
+Purely presentational — geometry comes from the same
+:class:`~repro.core.clusters.ClusterGeometry` the simulator uses, so a
+diagram is always faithful to what would be simulated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.designs import DesignKind, DesignSpec
+
+RANGE_COLOURS = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+)
+
+_CORE_Y, _NODE_Y, _L2_Y = 60, 170, 290
+_BOX = 16
+
+
+def _esc(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+class _Drawing:
+    def __init__(self, width: int, height: int, title: str):
+        self.width = width
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            'font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_esc(title)}</text>',
+        ]
+
+    def box(self, x, y, w, h, fill, stroke="#333", rx=2):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'rx="{rx}" fill="{fill}" stroke="{stroke}" stroke-width="0.8"/>'
+        )
+
+    def bus(self, x1, x2, y, label):
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y:.1f}" x2="{x2:.1f}" y2="{y:.1f}" '
+            'stroke="#555" stroke-width="3"/>'
+        )
+        self.parts.append(
+            f'<text x="{(x1 + x2) / 2:.1f}" y="{y - 5:.1f}" text-anchor="middle" '
+            f'font-size="9" fill="#555">{_esc(label)}</text>'
+        )
+
+    def drop(self, x, y1, y2):
+        self.parts.append(
+            f'<line x1="{x:.1f}" y1="{y1:.1f}" x2="{x:.1f}" y2="{y2:.1f}" '
+            'stroke="#999" stroke-width="0.8"/>'
+        )
+
+    def label(self, x, y, text, size=10, anchor="middle"):
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="{anchor}" '
+            f'font-size="{size}" fill="#222">{_esc(text)}</text>'
+        )
+
+    def outline(self, x, y, w, h):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            'rx="8" fill="none" stroke="#888" stroke-dasharray="4 3"/>'
+        )
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def _positions(count: int, width: int, margin: int = 50) -> List[float]:
+    if count == 1:
+        return [width / 2.0]
+    span = width - 2 * margin
+    return [margin + span * i / (count - 1) for i in range(count)]
+
+
+def design_diagram(spec: DesignSpec, num_cores: int = 80, num_l2: int = 32,
+                   width: int = 1200) -> str:
+    """Render one design point as an SVG diagram string."""
+    d = _Drawing(width, 340, f"{spec.label}: {num_cores} cores, {num_l2} L2 slices")
+    core_x = _positions(num_cores, width)
+    l2_x = _positions(num_l2, width)
+
+    if spec.kind in (DesignKind.BASELINE, DesignKind.CDXBAR):
+        for x in core_x:
+            d.box(x - _BOX / 2, _CORE_Y, _BOX, _BOX, "#dddddd")
+            d.box(x - _BOX / 2 + 2, _CORE_Y + _BOX - 6, _BOX - 4, 5, "#4477aa",
+                  stroke="none")
+            d.drop(x, _CORE_Y + _BOX, _NODE_Y)
+        d.label(26, _CORE_Y + 12, "cores+L1", size=9, anchor="start")
+        if spec.kind == DesignKind.CDXBAR:
+            d.bus(40, width - 40, _NODE_Y, "CDXBar stage 1 (per-group) + stage 2 (per-column)")
+        else:
+            d.bus(40, width - 40, _NODE_Y, f"NoC: {num_cores}x{num_l2} crossbar")
+        for s, x in enumerate(l2_x):
+            d.drop(x, _NODE_Y, _L2_Y)
+            d.box(x - _BOX / 2, _L2_Y, _BOX, _BOX, "#f4f4f4")
+        d.label(26, _L2_Y + 12, "L2", size=9, anchor="start")
+        return d.render()
+
+    geo = ClusterGeometry.from_design(spec, num_cores, num_l2)
+    node_x = _positions(geo.num_dcl1, width)
+    m = geo.dcl1_per_cluster
+
+    # Cores (Lite Cores: no L1 inside).
+    for x in core_x:
+        d.box(x - _BOX / 2, _CORE_Y, _BOX, _BOX, "#dddddd")
+    d.label(26, _CORE_Y + 12, "lite cores", size=9, anchor="start")
+
+    # Per-cluster NoC#1 buses + cluster outlines.
+    for z in range(geo.num_clusters):
+        cores = list(geo.cores_of_cluster(z))
+        nodes = list(geo.dcl1s_of_cluster(z))
+        x1 = min(core_x[cores[0]], node_x[nodes[0]]) - 10
+        x2 = max(core_x[cores[-1]], node_x[nodes[-1]]) + 10
+        label = (
+            f"NoC#1 {geo.cores_per_cluster}x{m}"
+            + (" @2x" if spec.noc1_freq_mult > 1 else "")
+        )
+        d.bus(x1, x2, _NODE_Y - 45, label if z == 0 else "")
+        for c in cores:
+            d.drop(core_x[c], _CORE_Y + _BOX, _NODE_Y - 45)
+        for n in nodes:
+            d.drop(node_x[n], _NODE_Y - 45, _NODE_Y)
+        if geo.num_clusters > 1:
+            d.outline(x1 - 6, _CORE_Y - 10, x2 - x1 + 12, _NODE_Y - _CORE_Y + 40)
+
+    # DC-L1 nodes coloured by home range.
+    for n, x in enumerate(node_x):
+        colour = RANGE_COLOURS[geo.dcl1_range_of(n) % len(RANGE_COLOURS)]
+        d.box(x - _BOX / 2, _NODE_Y, _BOX, _BOX, colour)
+    d.label(26, _NODE_Y + 12, "DC-L1", size=9, anchor="start")
+
+    # NoC#2: per-range buses when partitioned, one big bus otherwise.
+    if geo.noc2_partitioned:
+        for r in range(m):
+            y = _L2_Y - 40 + r * 8
+            xs = [node_x[n] for n in range(geo.num_dcl1) if geo.dcl1_range_of(n) == r]
+            l2s = [l2_x[s] for s in range(num_l2) if s % m == r]
+            d.bus(min(xs + l2s), max(xs + l2s), y,
+                  f"NoC#2 {geo.num_clusters}x{geo.l2_per_range}" if r == 0 else "")
+            for x in xs:
+                d.drop(x, _NODE_Y + _BOX, y)
+            for x in l2s:
+                d.drop(x, y, _L2_Y)
+    else:
+        d.bus(40, width - 40, _L2_Y - 40, f"NoC#2 {geo.num_dcl1}x{num_l2}")
+        for x in node_x:
+            d.drop(x, _NODE_Y + _BOX, _L2_Y - 40)
+        for x in l2_x:
+            d.drop(x, _L2_Y - 40, _L2_Y)
+
+    # L2 slices coloured by the range they serve (when aligned).
+    for s, x in enumerate(l2_x):
+        colour = RANGE_COLOURS[(s % m) % len(RANGE_COLOURS)] if geo.noc2_partitioned else "#f4f4f4"
+        d.box(x - _BOX / 2, _L2_Y, _BOX, _BOX, colour)
+    d.label(26, _L2_Y + 12, "L2", size=9, anchor="start")
+    return d.render()

@@ -1,0 +1,60 @@
+"""Aggregate metric helpers used by every experiment.
+
+The paper reports "average improvements"; GPU papers conventionally use
+the geometric mean for speedups (ratios) and arithmetic mean for rates.
+Both are provided; experiments state which they use per artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive entries."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("amean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every entry by the baseline entry (kept in the output, = 1.0)."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+def s_curve(values: Dict[str, float]) -> List[Tuple[str, float]]:
+    """Sort (name, value) ascending by value — the paper's S-curve layout
+    (Figures 2, 15, 17)."""
+    return sorted(values.items(), key=lambda kv: (kv[1], kv[0]))
+
+
+def reduction(new: float, old: float) -> float:
+    """Fractional reduction of ``new`` versus ``old`` (positive = smaller)."""
+    if old == 0:
+        return 0.0
+    return 1.0 - new / old
+
+
+def weighted_amean(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Arithmetic mean of ``(value, weight)`` pairs."""
+    if not pairs:
+        raise ValueError("weighted mean of empty sequence")
+    total_w = sum(w for _v, w in pairs)
+    if total_w <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in pairs) / total_w

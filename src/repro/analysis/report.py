@@ -1,0 +1,98 @@
+"""Comparison reports.
+
+Turns a set of :class:`~repro.sim.results.SimResult` runs of the *same
+application* into a single markdown document: normalized throughput, cache
+behaviour, replication, traffic and latency — the quantities the paper
+argues from — with a short mechanical interpretation of what moved.
+
+Used by the CLI/examples; handy for sharing one-app studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.results import SimResult
+
+
+def _fmt_pct(x: float) -> str:
+    return f"{x * 100:.1f}%"
+
+
+def _check_same_app(results: Sequence[SimResult]) -> str:
+    apps = {r.app for r in results}
+    if len(apps) != 1:
+        raise ValueError(f"reports compare one app at a time, got {sorted(apps)}")
+    return next(iter(apps))
+
+
+def comparison_report(results: Sequence[SimResult], baseline_index: int = 0) -> str:
+    """Render a markdown report comparing runs of one application.
+
+    ``results[baseline_index]`` is the normalization reference.
+    """
+    results = list(results)
+    if len(results) < 2:
+        raise ValueError("need at least a baseline and one comparison run")
+    app = _check_same_app(results)
+    base = results[baseline_index]
+    if base.ipc <= 0:
+        raise ValueError("baseline run has zero IPC")
+
+    lines: List[str] = [f"# {app}: design comparison", ""]
+    header = (
+        "| design | speedup | IPC | L1 miss | replication | replicas "
+        "| load RTT | DRAM accesses | flit-hops |"
+    )
+    lines.append(header)
+    lines.append("|" + "---|" * 9)
+    for res in results:
+        lines.append(
+            "| {d} | {sp:.2f}x | {ipc:.2f} | {miss} | {repl} | {reps:.1f} "
+            "| {rtt:.0f} | {dram} | {hops} |".format(
+                d=res.design,
+                sp=res.ipc / base.ipc,
+                ipc=res.ipc,
+                miss=_fmt_pct(res.l1_miss_rate),
+                repl=_fmt_pct(res.replication_ratio),
+                reps=res.mean_replicas,
+                rtt=res.load_rtt_mean,
+                dram=res.dram_accesses,
+                hops=res.total_flit_hops,
+            )
+        )
+    lines.append("")
+    lines.extend(_interpretation(base, results, baseline_index))
+    return "\n".join(lines) + "\n"
+
+
+def _interpretation(base: SimResult, results: Sequence[SimResult],
+                    baseline_index: int) -> List[str]:
+    out = ["## What moved", ""]
+    for i, res in enumerate(results):
+        if i == baseline_index:
+            continue
+        sp = res.ipc / base.ipc
+        bullet = [f"- **{res.design}**: {sp:.2f}x."]
+        if base.l1_miss_rate > 0:
+            dm = 1.0 - res.l1_miss_rate / base.l1_miss_rate
+            if dm > 0.05:
+                bullet.append(
+                    f"L1 miss rate fell {_fmt_pct(dm)} "
+                    f"({_fmt_pct(base.l1_miss_rate)} → {_fmt_pct(res.l1_miss_rate)})."
+                )
+            elif dm < -0.05:
+                bullet.append(f"L1 miss rate rose {_fmt_pct(-dm)}.")
+        if base.mean_replicas > 0 and res.mean_replicas < base.mean_replicas - 0.5:
+            bullet.append(
+                f"Replication shrank from {base.mean_replicas:.1f} to "
+                f"{res.mean_replicas:.1f} copies/line."
+            )
+        if base.load_rtt_mean > 0:
+            drtt = 1.0 - res.load_rtt_mean / base.load_rtt_mean
+            if abs(drtt) > 0.05:
+                verb = "fell" if drtt > 0 else "rose"
+                bullet.append(f"Mean load round trip {verb} {_fmt_pct(abs(drtt))}.")
+        out.append(" ".join(bullet))
+    out.append("")
+    return out

@@ -1,0 +1,192 @@
+"""Standalone SVG chart rendering (no plotting dependencies).
+
+Enough of a charting layer to regenerate the paper's figures as real
+graphics: grouped bar charts (Figures 4, 6, 8, 11, 12, 14, 16, 18) and
+multi-series line/S-curve charts (Figures 2, 15, 17).  Output is a
+self-contained SVG string; :func:`write` saves it.
+
+The look is deliberately plain: white background, light gridlines, one
+fill per series from a small colour-blind-safe palette, value labels on
+bars when space allows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 62, 16, 34, 72
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / count
+    return [lo + i * step for i in range(count + 1)]
+
+
+class _Canvas:
+    def __init__(self, width: int, height: int, title: str):
+        self.width, self.height = width, height
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            'font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>',
+        ]
+
+    def line(self, x1, y1, x2, y2, stroke="#cccccc", width=1.0):
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def rect(self, x, y, w, h, fill):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}"/>'
+        )
+
+    def text(self, x, y, content, size=10, anchor="middle", rotate=None, fill="#222"):
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="{anchor}" '
+            f'font-size="{size}" fill="{fill}"{transform}>{_esc(content)}</text>'
+        )
+
+    def polyline(self, points, stroke, width=1.6):
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, r, fill):
+        self.parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{fill}"/>')
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def _plot_frame(canvas: _Canvas, y_lo: float, y_hi: float, y_label: str):
+    x0, x1 = _MARGIN_L, canvas.width - _MARGIN_R
+    y0, y1 = canvas.height - _MARGIN_B, _MARGIN_T
+    for tick in _ticks(y_lo, y_hi):
+        frac = (tick - y_lo) / (y_hi - y_lo)
+        y = y0 - frac * (y0 - y1)
+        canvas.line(x0, y, x1, y)
+        canvas.text(x0 - 6, y + 3, f"{tick:g}", size=9, anchor="end")
+    canvas.line(x0, y0, x1, y0, stroke="#444444")
+    canvas.line(x0, y0, x0, y1, stroke="#444444")
+    canvas.text(16, (y0 + y1) / 2, y_label, size=10, rotate=-90)
+    return x0, x1, y0, y1
+
+
+def _legend(canvas: _Canvas, names: Sequence[str]):
+    x = _MARGIN_L
+    y = canvas.height - 14
+    for i, name in enumerate(names):
+        colour = PALETTE[i % len(PALETTE)]
+        canvas.rect(x, y - 8, 10, 10, colour)
+        canvas.text(x + 14, y, name, size=9, anchor="start")
+        x += 14 + 7 * len(name) + 18
+
+
+def bar_chart(
+    categories: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    y_label: str = "",
+    width: int = 900,
+    height: int = 360,
+    y_max: Optional[float] = None,
+    baseline: Optional[float] = None,
+) -> str:
+    """Grouped bar chart: one group per category, one bar per series."""
+    if not categories or not series:
+        raise ValueError("nothing to plot")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(f"series {name!r} length != categories")
+    hi = y_max if y_max is not None else max(max(v) for v in series.values()) * 1.1
+    canvas = _Canvas(width, height, title)
+    x0, x1, y0, y1 = _plot_frame(canvas, 0.0, hi, y_label)
+
+    group_w = (x1 - x0) / len(categories)
+    bar_w = group_w * 0.8 / len(series)
+    for ci, cat in enumerate(categories):
+        gx = x0 + ci * group_w + group_w * 0.1
+        for si, (name, values) in enumerate(series.items()):
+            v = min(values[ci], hi)
+            h = (v / hi) * (y0 - y1)
+            canvas.rect(gx + si * bar_w, y0 - h, bar_w * 0.92,
+                        h, PALETTE[si % len(PALETTE)])
+            if bar_w > 26:
+                canvas.text(gx + si * bar_w + bar_w / 2, y0 - h - 3,
+                            f"{values[ci]:.2f}", size=8)
+        canvas.text(gx + group_w * 0.4, y0 + 12, cat, size=9,
+                    rotate=-35 if len(cat) > 6 else None,
+                    anchor="end" if len(cat) > 6 else "middle")
+    if baseline is not None:
+        frac = baseline / hi
+        y = y0 - frac * (y0 - y1)
+        canvas.line(x0, y, x1, y, stroke="#aa3377", width=1.2)
+    _legend(canvas, list(series))
+    return canvas.render()
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+    width: int = 900,
+    height: int = 360,
+    markers: bool = True,
+) -> str:
+    """Multi-series line chart over a shared integer x-axis (S-curves)."""
+    if not series:
+        raise ValueError("nothing to plot")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must share a length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("need at least two points")
+    lo = min(min(v) for v in series.values())
+    hi = max(max(v) for v in series.values())
+    lo, hi = min(lo, 0.0) if lo < 0 else 0.0, hi * 1.05
+    canvas = _Canvas(width, height, title)
+    x0, x1, y0, y1 = _plot_frame(canvas, lo, hi, y_label)
+    for si, (name, values) in enumerate(series.items()):
+        colour = PALETTE[si % len(PALETTE)]
+        points = []
+        for i, v in enumerate(values):
+            x = x0 + (x1 - x0) * i / (n - 1)
+            y = y0 - (v - lo) / (hi - lo) * (y0 - y1)
+            points.append((x, y))
+        canvas.polyline(points, colour)
+        if markers:
+            for x, y in points:
+                canvas.circle(x, y, 2.2, colour)
+    canvas.text((x0 + x1) / 2, y0 + 26, x_label, size=10)
+    _legend(canvas, list(series))
+    return canvas.render()
+
+
+def write(svg: str, path) -> pathlib.Path:
+    """Write an SVG string to disk; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment returns structured rows; the benchmark harness prints
+them with :func:`format_table` so each table/figure of the paper has a
+directly comparable textual form in the bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def percent(x: float) -> str:
+    """Format a fraction as a percentage."""
+    return f"{x * 100:.1f}%"
+
+
+def ratio(x: float) -> str:
+    """Format a normalized ratio (e.g. speedups)."""
+    return f"{x:.2f}x"
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_dict_table(rows: List[Dict[str, Cell]], columns: Sequence[str],
+                      title: str = "") -> str:
+    """Render dict-shaped rows with an explicit column order."""
+    body = [[row.get(col, "") for col in columns] for row in rows]
+    return format_table(columns, body, title)

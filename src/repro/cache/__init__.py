@@ -1,0 +1,16 @@
+"""Cache substrate: set-associative caches, replacement, MSHRs, replication directory."""
+
+from repro.cache.cache import CacheStats, SetAssociativeCache
+from repro.cache.directory import ReplicationDirectory
+from repro.cache.mshr import MSHRFile
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, make_policy
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "ReplicationDirectory",
+    "MSHRFile",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "make_policy",
+]

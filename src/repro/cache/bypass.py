@@ -1,0 +1,91 @@
+"""Adaptive streaming-bypass filter for (DC-)L1 fills.
+
+The paper's related-work section notes that per-cache capacity-management
+techniques (fill bypassing, reuse prediction) are *complementary* to the
+DC-L1 organization: they improve each individual DC-L1 while the DC-L1
+design coordinates capacity across them.  This module implements the
+classic reuse-history bypass as that complementary extension:
+
+* every resident line carries a "reused" bit (set on the first hit);
+* evictions feed a sliding window of outcomes (1 = evicted dead, i.e.
+  never reused);
+* when the recent dead-on-eviction rate exceeds ``threshold``, new fills
+  are *bypassed* — the data still flows to the requester, but the line is
+  not installed, protecting whatever reusable working set the cache holds
+  from streaming pollution;
+* every ``sample_every``-th fill installs regardless, so the filter keeps
+  learning and recovers when the access pattern changes.
+
+The filter is deliberately self-contained: the system consults
+``should_install()`` at fill time and reports ``on_install / on_hit /
+on_evict`` events; no cache internals change.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class StreamingBypassFilter:
+    """Reuse-history fill bypass for one cache."""
+
+    def __init__(self, threshold: float = 0.80, window: int = 256,
+                 sample_every: int = 16):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if window < 8:
+            raise ValueError("window too small to learn from")
+        if sample_every < 2:
+            raise ValueError("sample_every must be >= 2")
+        self.threshold = threshold
+        self.window = window
+        self.sample_every = sample_every
+        self._unreused: dict = {}  # resident line -> True while never reused
+        self._outcomes: deque = deque(maxlen=window)
+        self._dead_sum = 0
+        self._fills = 0
+        # statistics
+        self.bypassed = 0
+        self.sampled = 0
+
+    # -- event hooks ---------------------------------------------------------
+
+    def on_install(self, line: int) -> None:
+        self._unreused[line] = True
+
+    def on_hit(self, line: int) -> None:
+        self._unreused.pop(line, None)
+
+    def on_evict(self, line: int) -> None:
+        dead = 1 if self._unreused.pop(line, False) else 0
+        if len(self._outcomes) == self._outcomes.maxlen:
+            self._dead_sum -= self._outcomes[0]
+        self._outcomes.append(dead)
+        self._dead_sum += dead
+
+    # -- decision --------------------------------------------------------------
+
+    @property
+    def dead_rate(self) -> float:
+        """Recent fraction of lines evicted without any reuse."""
+        n = len(self._outcomes)
+        return self._dead_sum / n if n else 0.0
+
+    @property
+    def bypassing(self) -> bool:
+        """Whether the filter is currently in bypass mode."""
+        return (
+            len(self._outcomes) >= self.window // 4
+            and self.dead_rate > self.threshold
+        )
+
+    def should_install(self) -> bool:
+        """Decide the fate of the next fill (False = bypass)."""
+        self._fills += 1
+        if self._fills % self.sample_every == 0:
+            self.sampled += 1
+            return True
+        if self.bypassing:
+            self.bypassed += 1
+            return False
+        return True

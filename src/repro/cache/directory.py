@@ -1,0 +1,93 @@
+"""Global replication directory.
+
+Tracks, for every cache line, which caches of a level currently hold a
+copy.  This is purely an *instrumentation* structure — the hardware the
+paper proposes has no such directory; we use it to compute the paper's two
+replication metrics:
+
+* **replication ratio** (Figure 1): the fraction of L1 misses whose line
+  was, at miss time, resident in at least one *other* L1;
+* **average replica count** (Figure 16 discussion: baseline 7.7 → Pr40 5.7
+  → Sh40+C10+Boost 2.8 → Sh40 0 *extra* copies): we report the mean number
+  of copies per distinct resident line, sampled at every install so the
+  average is weighted by fill activity, matching how GPGPU-Sim-style
+  counters are gathered.
+"""
+
+from __future__ import annotations
+
+
+class ReplicationDirectory:
+    """Copy-set tracking for one cache level."""
+
+    def __init__(self) -> None:
+        self._holders: dict = {}
+        # Sampled replica statistics (updated at install time).
+        self.install_samples = 0
+        self.copies_sum = 0
+
+    def on_install(self, line: int, cache_id: int) -> None:
+        """Record that ``cache_id`` now holds ``line``."""
+        holders = self._holders.get(line)
+        if holders is None:
+            holders = set()
+            self._holders[line] = holders
+        holders.add(cache_id)
+        self.install_samples += 1
+        self.copies_sum += len(holders)
+
+    def on_evict(self, line: int, cache_id: int) -> None:
+        """Record that ``cache_id`` dropped ``line``."""
+        holders = self._holders.get(line)
+        if holders is None:
+            return
+        holders.discard(cache_id)
+        if not holders:
+            del self._holders[line]
+
+    def copies(self, line: int) -> int:
+        """Current number of caches holding ``line``."""
+        holders = self._holders.get(line)
+        return len(holders) if holders else 0
+
+    def held_elsewhere(self, line: int, cache_id: int) -> bool:
+        """True when some cache other than ``cache_id`` holds ``line``."""
+        holders = self._holders.get(line)
+        if not holders:
+            return False
+        if cache_id in holders:
+            return len(holders) > 1
+        return True
+
+    def holders(self, line: int) -> frozenset:
+        """Snapshot of the caches holding ``line``."""
+        holders = self._holders.get(line)
+        return frozenset(holders) if holders else frozenset()
+
+    # -- aggregate metrics -------------------------------------------------
+
+    def distinct_lines(self) -> int:
+        """Number of distinct lines resident anywhere in the level."""
+        return len(self._holders)
+
+    def total_copies(self) -> int:
+        """Total resident copies across the level (>= distinct_lines)."""
+        return sum(len(h) for h in self._holders.values())
+
+    def mean_replicas_sampled(self) -> float:
+        """Install-weighted mean copies per line (the Fig. 16 metric)."""
+        if self.install_samples == 0:
+            return 0.0
+        return self.copies_sum / self.install_samples
+
+    def mean_replicas_resident(self) -> float:
+        """End-state mean copies per distinct resident line."""
+        n = len(self._holders)
+        if n == 0:
+            return 0.0
+        return self.total_copies() / n
+
+    def reset(self) -> None:
+        self._holders.clear()
+        self.install_samples = 0
+        self.copies_sum = 0

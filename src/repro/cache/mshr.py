@@ -1,0 +1,116 @@
+"""Miss Status Holding Registers (MSHR) with request merging.
+
+Each (DC-)L1 and L2 slice owns an :class:`MSHRFile`.  When a load misses:
+
+* if an entry for the line already exists, the request *merges* — it waits
+  on the existing fill and generates no additional downstream traffic
+  (secondary miss);
+* otherwise a new entry is allocated and the miss goes downstream
+  (primary miss);
+* if the file is full, the request stalls in a FIFO and is retried when an
+  entry frees — this backpressure is what makes very-high-miss-rate
+  workloads lean on the lower levels of the hierarchy realistically.
+
+The paper's Lite Core removes the per-core L1 *and its MSHRs*; in DC-L1
+designs the MSHR file lives in the DC-L1 node instead, so a design with 40
+DC-L1 nodes has 40 (larger) MSHR files rather than 80 small ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+
+class MSHREntry:
+    """One outstanding line fill and the requests waiting on it."""
+
+    __slots__ = ("line", "waiters")
+
+    def __init__(self, line: int):
+        self.line = line
+        self.waiters: List = []
+
+
+class MSHRFile:
+    """A finite file of :class:`MSHREntry` with merge and stall support."""
+
+    def __init__(self, num_entries: int, max_merged: int = 64):
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        if max_merged < 1:
+            raise ValueError("max_merged must be >= 1")
+        self.num_entries = num_entries
+        self.max_merged = max_merged
+        self._entries: dict = {}
+        self.stalled: deque = deque()
+        # statistics
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.stall_events = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    def outstanding(self, line: int) -> bool:
+        """Is a fill for ``line`` already in flight?"""
+        return line in self._entries
+
+    def allocate(self, line: int, waiter) -> str:
+        """Try to track a miss on ``line`` for ``waiter``.
+
+        Returns one of:
+
+        * ``"new"`` — a fresh entry was allocated; caller must send the
+          miss downstream and later call :meth:`release`.
+        * ``"merged"`` — an in-flight fill exists; ``waiter`` was attached.
+        * ``"stalled"`` — the file (or the entry's merge capacity) is
+          exhausted; ``waiter`` was queued and the caller must retry it via
+          :meth:`pop_stalled` after the next :meth:`release`.
+        """
+        entry = self._entries.get(line)
+        if entry is not None:
+            if len(entry.waiters) >= self.max_merged:
+                self.stalled.append(waiter)
+                self.stall_events += 1
+                return "stalled"
+            entry.waiters.append(waiter)
+            self.secondary_misses += 1
+            return "merged"
+        if self.full:
+            self.stalled.append(waiter)
+            self.stall_events += 1
+            return "stalled"
+        entry = MSHREntry(line)
+        entry.waiters.append(waiter)
+        self._entries[line] = entry
+        self.primary_misses += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return "new"
+
+    def release(self, line: int) -> List:
+        """The fill for ``line`` returned; frees the entry and returns all
+        waiters to be resumed."""
+        entry = self._entries.pop(line, None)
+        if entry is None:
+            raise KeyError(f"release of line {line:#x} with no MSHR entry")
+        return entry.waiters
+
+    def pop_stalled(self) -> Optional[object]:
+        """Dequeue one stalled waiter to retry (None when empty)."""
+        if self.stalled:
+            return self.stalled.popleft()
+        return None
+
+    def has_stalled(self) -> bool:
+        return bool(self.stalled)
+
+    def drained(self) -> bool:
+        """True when nothing is outstanding and nothing is stalled."""
+        return not self._entries and not self.stalled

@@ -1,0 +1,130 @@
+"""Replacement policies for set-associative caches.
+
+Policies are per-*set* objects: each cache set owns one policy instance that
+tracks the lines resident in that set and answers "which line is the
+victim?".  Keeping the policy per set (rather than a global policy with a
+set argument) keeps lookups dictionary-free on the hot path.
+
+Two policies are provided, both O(1):
+
+* :class:`LRUPolicy` — least-recently-used, the paper's L1/L2 policy.
+* :class:`FIFOPolicy` — insertion-order eviction, used in ablations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Optional
+
+
+class LRUPolicy:
+    """Least-recently-used replacement for a single cache set."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._order
+
+    def touch(self, line: int) -> None:
+        """Record a hit on ``line`` (moves it to MRU position)."""
+        self._order.move_to_end(line)
+
+    def insert(self, line: int) -> None:
+        """Insert a new line at MRU position."""
+        self._order[line] = None
+
+    def victim(self) -> int:
+        """Return (without removing) the current victim line."""
+        return next(iter(self._order))
+
+    def evict(self) -> int:
+        """Remove and return the LRU line."""
+        line, _ = self._order.popitem(last=False)
+        return line
+
+    def remove(self, line: int) -> bool:
+        """Remove a specific line (e.g. write-evict); returns True if present."""
+        if line in self._order:
+            del self._order[line]
+            return True
+        return False
+
+    def lines(self):
+        """Iterate over resident lines, LRU first."""
+        return iter(self._order)
+
+
+class FIFOPolicy:
+    """First-in first-out replacement for a single cache set."""
+
+    __slots__ = ("_queue", "_present")
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._present: set = set()
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._present
+
+    def touch(self, line: int) -> None:
+        """FIFO ignores hits."""
+
+    def insert(self, line: int) -> None:
+        self._queue.append(line)
+        self._present.add(line)
+
+    def victim(self) -> int:
+        self._compact()
+        return self._queue[0]
+
+    def evict(self) -> int:
+        self._compact()
+        line = self._queue.popleft()
+        self._present.discard(line)
+        return line
+
+    def remove(self, line: int) -> bool:
+        # Lazy removal: drop from the presence set; stale queue entries are
+        # skipped during compaction.
+        if line in self._present:
+            self._present.discard(line)
+            return True
+        return False
+
+    def lines(self):
+        return iter(self._present)
+
+    def _compact(self) -> None:
+        while self._queue and self._queue[0] not in self._present:
+            self._queue.popleft()
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy}
+
+
+def make_policy(name: str):
+    """Instantiate a replacement policy by name (``"lru"`` or ``"fifo"``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+
+
+def policy_factory(name: str) -> Optional[type]:
+    """Return the policy class for ``name`` without instantiating it."""
+    if name not in _POLICIES:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        )
+    return _POLICIES[name]

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main entry points::
+
+    repro simulate T-AlexNet --design Sh40+C10+Boost --scale 0.5
+    repro characterize --scale 1.0
+    repro figures fig14 fig16
+    repro sweep P-2MM --scale 0.5
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.  Design names accept the paper's labels
+(``Baseline``, ``Pr40``, ``Sh40``, ``Sh40+C10``, ``Sh40+C10+Boost``,
+``CDXBar``...) or constructor-style strings like ``clustered:40:10:2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.designs import DesignSpec
+from repro.sim.config import SimConfig
+from repro.sim.system import simulate
+from repro.workloads.suite import APP_NAMES, get_app
+
+_NAMED_DESIGNS = {
+    "baseline": DesignSpec.baseline(),
+    "pr80": DesignSpec.private(80),
+    "pr40": DesignSpec.private(40),
+    "pr20": DesignSpec.private(20),
+    "pr10": DesignSpec.private(10),
+    "sh40": DesignSpec.shared(40),
+    "sh40+c5": DesignSpec.clustered(40, 5),
+    "sh40+c10": DesignSpec.clustered(40, 10),
+    "sh40+c20": DesignSpec.clustered(40, 20),
+    "sh40+c10+boost": DesignSpec.clustered(40, 10, boost=2.0),
+    "cdxbar": DesignSpec.cdxbar(),
+    "cdxbar+2xnoc": DesignSpec.cdxbar(2.0, 2.0),
+    "singlel1": DesignSpec.single_l1(),
+}
+
+
+def parse_design(text: str) -> DesignSpec:
+    """Resolve a design from a paper label or a constructor string."""
+    key = text.strip().lower()
+    if key in _NAMED_DESIGNS:
+        return _NAMED_DESIGNS[key]
+    parts = key.split(":")
+    kind, args = parts[0], parts[1:]
+    try:
+        if kind == "private":
+            return DesignSpec.private(int(args[0]))
+        if kind == "shared":
+            return DesignSpec.shared(int(args[0]))
+        if kind == "clustered":
+            boost = float(args[2]) if len(args) > 2 else 1.0
+            return DesignSpec.clustered(int(args[0]), int(args[1]), boost=boost)
+    except (IndexError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(f"bad design spec {text!r}: {exc}") from exc
+    raise argparse.ArgumentTypeError(
+        f"unknown design {text!r}; named designs: {sorted(_NAMED_DESIGNS)} "
+        "or private:Y / shared:Y / clustered:Y:Z[:boost]"
+    )
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis.analytical import validate_against
+
+    cfg = SimConfig(scale=args.scale, cta_scheduler=args.scheduler)
+    app = get_app(args.app)
+
+    def row(spec, res, base):
+        bound = validate_against(res, spec, app, gpu=cfg.gpu)
+        return [
+            spec.label, f"{res.ipc:.2f}",
+            f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}",
+            f"{res.replication_ratio:.1%}", f"{res.load_rtt_mean:.0f}",
+            bound["binding"],
+        ]
+
+    base_spec = DesignSpec.baseline()
+    base = simulate(app, base_spec, cfg)
+    rows = [row(base_spec, base, base)]
+    for spec in args.design:
+        rows.append(row(spec, simulate(app, spec, cfg), base))
+    print(format_table(
+        ["design", "IPC", "speedup", "miss", "replication", "RTT", "bottleneck"],
+        rows, title=f"{app.name} @ scale {args.scale:g}"))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.analysis.classify import classify
+    from repro.workloads.suite import REPLICATION_SENSITIVE, all_apps
+
+    cfg = SimConfig(scale=args.scale)
+    rows = []
+    for prof in all_apps():
+        base = simulate(prof, DesignSpec.baseline(), cfg)
+        big = simulate(
+            prof, DesignSpec.baseline(l1_size_mult=16.0),
+            SimConfig(scale=args.scale, l1_latency_override=cfg.gpu.l1_latency),
+        )
+        row = classify(base, big)
+        rows.append([
+            row.app, f"{row.replication_ratio:.1%}", f"{row.l1_miss_rate:.1%}",
+            f"{row.speedup_16x:.2f}x",
+            "sensitive" if row.replication_sensitive else "-",
+            "sensitive" if prof.name in REPLICATION_SENSITIVE else "-",
+        ])
+    rows.sort(key=lambda r: float(r[1].rstrip("%")))
+    print(format_table(
+        ["app", "replication", "miss", "16x", "measured", "paper"], rows))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments.base import Runner
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    if args.list:
+        print("\n".join(EXPERIMENTS))
+        return 0
+    ids = list(EXPERIMENTS) if args.all else args.ids
+    if not ids:
+        print("no experiments given (use --all or --list)", file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    runner = Runner(SimConfig(scale=args.scale))
+    for exp_id in ids:
+        t0 = time.time()
+        print(run_experiment(exp_id, runner).render())
+        print(f"({time.time() - t0:.1f}s)\n")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    cfg = SimConfig(scale=args.scale)
+    app = get_app(args.app)
+    base = simulate(app, DesignSpec.baseline(), cfg)
+    rows = []
+    for y in (80, 40, 20, 10):
+        res = simulate(app, DesignSpec.private(y), cfg)
+        rows.append([f"Pr{y}", f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"])
+    for z in (1, 5, 10, 20):
+        res = simulate(app, DesignSpec.clustered(40, z), cfg)
+        rows.append([f"Sh40+C{z}", f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"])
+    res = simulate(app, DesignSpec.clustered(40, 10, boost=2.0), cfg)
+    rows.append(["Sh40+C10+Boost", f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"])
+    print(format_table(["design", "speedup", "miss"], rows,
+                       title=f"Design-space sweep: {app.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run one app on one or more designs")
+    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("--design", type=parse_design, action="append",
+                   default=None, help="design label or constructor string")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scheduler", choices=("round_robin", "distributed"),
+                   default="round_robin")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("characterize", help="Figure 1 classification of the suite")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--all", action="store_true")
+    p.add_argument("--list", action="store_true")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("sweep", help="aggregation/clustering sweep on one app")
+    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) == "simulate" and args.design is None:
+        args.design = [DesignSpec.clustered(40, 10, boost=2.0)]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

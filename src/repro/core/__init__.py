@@ -1,0 +1,16 @@
+"""The paper's contribution: DC-L1 design space (PrY / ShY / ShY+CZ / +Boost)."""
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.designs import DesignKind, DesignSpec
+from repro.core.home import HomeMapper
+from repro.core.peak_bw import PeakBandwidth, peak_l1_bandwidth, table1_rows
+
+__all__ = [
+    "DesignKind",
+    "DesignSpec",
+    "ClusterGeometry",
+    "HomeMapper",
+    "PeakBandwidth",
+    "peak_l1_bandwidth",
+    "table1_rows",
+]

@@ -1,0 +1,142 @@
+"""Cluster geometry: how cores, DC-L1 nodes, clusters and L2 slices relate.
+
+The clustered design ``ShY+CZ`` (Section VI-A, Figure 10) partitions:
+
+* the ``X`` cores into ``Z`` clusters of ``N = X/Z`` cores,
+* the ``Y`` DC-L1 nodes into ``Z`` clusters of ``M = Y/Z`` nodes,
+
+and builds:
+
+* NoC#1 — one ``N x M`` crossbar per cluster,
+* NoC#2 — when ``M`` divides the ``L`` L2 slices, ``M`` crossbars of
+  ``Z x O`` with ``O = L/M`` (each address range ``r`` has its own
+  crossbar connecting the ``Z`` DC-L1s homing ``r`` to the ``O`` L2
+  slices serving ``r``); otherwise a single full ``Y x L`` crossbar (the
+  Sh40 case, where ``M = 40 > L = 32``).
+
+``PrY`` is the ``Z = Y`` endpoint (``M = 1``; the per-cluster crossbar
+degenerates to ``N x 1``) and ``ShY`` is the ``Z = 1`` endpoint, so a
+single geometry class covers Figures 5, 7 and 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.designs import DesignKind, DesignSpec
+
+
+@dataclass(frozen=True)
+class ClusterGeometry:
+    """Derived geometry of a DC-L1 design point on a concrete platform."""
+
+    num_cores: int
+    num_dcl1: int  # Y
+    num_clusters: int  # Z
+    num_l2: int  # L
+    cores_per_cluster: int = field(init=False)  # N
+    dcl1_per_cluster: int = field(init=False)  # M
+
+    def __post_init__(self):
+        if self.num_cores % self.num_clusters != 0:
+            raise ValueError(
+                f"{self.num_clusters} clusters must evenly divide {self.num_cores} cores"
+            )
+        if self.num_dcl1 % self.num_clusters != 0:
+            raise ValueError(
+                f"{self.num_clusters} clusters must evenly divide {self.num_dcl1} DC-L1s"
+            )
+        object.__setattr__(self, "cores_per_cluster", self.num_cores // self.num_clusters)
+        object.__setattr__(self, "dcl1_per_cluster", self.num_dcl1 // self.num_clusters)
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def from_design(spec: DesignSpec, num_cores: int, num_l2: int) -> "ClusterGeometry":
+        """Geometry for a DC-L1 family spec (including SINGLE_L1)."""
+        if spec.kind == DesignKind.SINGLE_L1:
+            return ClusterGeometry(num_cores, 1, 1, num_l2)
+        if spec.kind != DesignKind.DCL1:
+            raise ValueError(f"{spec} does not have DC-L1 cluster geometry")
+        return ClusterGeometry(num_cores, spec.num_dcl1, spec.num_clusters, num_l2)
+
+    # -- membership ----------------------------------------------------------
+
+    def cluster_of_core(self, core_id: int) -> int:
+        """Cluster that a core belongs to (contiguous grouping)."""
+        return core_id // self.cores_per_cluster
+
+    def cluster_of_dcl1(self, dcl1_id: int) -> int:
+        return dcl1_id // self.dcl1_per_cluster
+
+    def dcl1_range_of(self, dcl1_id: int) -> int:
+        """Address range ``r`` in [0, M) homed by this DC-L1 node."""
+        return dcl1_id % self.dcl1_per_cluster
+
+    def core_port_in_cluster(self, core_id: int) -> int:
+        """Input-port index of a core on its cluster's NoC#1 crossbar."""
+        return core_id % self.cores_per_cluster
+
+    def dcl1_port_in_cluster(self, dcl1_id: int) -> int:
+        """Output-port index of a DC-L1 on its cluster's NoC#1 crossbar."""
+        return dcl1_id % self.dcl1_per_cluster
+
+    def dcl1s_of_cluster(self, cluster: int) -> range:
+        start = cluster * self.dcl1_per_cluster
+        return range(start, start + self.dcl1_per_cluster)
+
+    def cores_of_cluster(self, cluster: int) -> range:
+        start = cluster * self.cores_per_cluster
+        return range(start, start + self.cores_per_cluster)
+
+    # -- home bits (Sections V-A / VI-A) --------------------------------------
+
+    @property
+    def home_bits(self) -> int:
+        """Number of physical-address bits selecting the home DC-L1 within a
+        cluster: ``ceil(log2(Y/Z))``."""
+        return max(0, math.ceil(math.log2(self.dcl1_per_cluster)))
+
+    @property
+    def max_replicas(self) -> int:
+        """Upper bound on copies of one line across the level (= Z)."""
+        return self.num_clusters
+
+    # -- NoC#2 partitioning ----------------------------------------------------
+
+    @property
+    def noc2_partitioned(self) -> bool:
+        """True when NoC#2 splits into M range crossbars of Z x O."""
+        return (
+            self.dcl1_per_cluster <= self.num_l2
+            and self.num_l2 % self.dcl1_per_cluster == 0
+            and self.dcl1_per_cluster > 1
+        )
+
+    @property
+    def l2_per_range(self) -> int:
+        """O — L2 slices behind each address range's NoC#2 crossbar."""
+        if not self.noc2_partitioned:
+            return self.num_l2
+        return self.num_l2 // self.dcl1_per_cluster
+
+    # -- crossbar inventories (for the DSENT area/power model) -----------------
+
+    def noc1_shapes(self) -> List[Tuple[int, int, int]]:
+        """NoC#1 crossbars as ``(count, n_in, n_out)`` tuples."""
+        return [(self.num_clusters, self.cores_per_cluster, self.dcl1_per_cluster)]
+
+    def noc2_shapes(self) -> List[Tuple[int, int, int]]:
+        """NoC#2 crossbars as ``(count, n_in, n_out)`` tuples."""
+        if self.noc2_partitioned:
+            return [(self.dcl1_per_cluster, self.num_clusters, self.l2_per_range)]
+        return [(1, self.num_dcl1, self.num_l2)]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_cores} cores / {self.num_dcl1} DC-L1s / "
+            f"{self.num_clusters} clusters (N={self.cores_per_cluster}, "
+            f"M={self.dcl1_per_cluster})"
+        )

@@ -1,0 +1,222 @@
+"""Design specifications for the DC-L1 design space.
+
+A :class:`DesignSpec` is a small, immutable description of one point in the
+paper's design space.  Everything else — topology, home mapping, cache
+sizing, peak bandwidth — is *derived* from the spec plus the platform
+configuration, so a spec is cheap to construct, hash and sweep over.
+
+The design space (Sections III–VI):
+
+=================  =====================================================
+``baseline()``     Conventional private per-core L1s; one 80x32 NoC.
+``private(Y)``     ``PrY`` — L1s decoupled and aggregated into Y private
+                   DC-L1 nodes, each serving ``80/Y`` cores (Section IV).
+``shared(Y)``      ``ShY`` — fully shared DC-L1s; each line has a single
+                   home node selected by home bits (Section V).
+``clustered(Y,Z)`` ``ShY+CZ`` — shared only within each of Z clusters;
+                   replication bounded to <= Z copies (Section VI).
+``+Boost``         ``noc1_freq_mult=2`` on a clustered spec: doubles the
+                   small NoC#1 crossbars' clock (Section VI-C).
+``cdxbar()``       Hierarchical two-stage crossbar comparator of Zhao et
+                   al., with private per-core L1s (Figure 19a).
+``single_l1()``    Hypothetical all-cores-one-L1 design of Section II-A
+                   (capacity and aggregate bandwidth preserved).
+=================  =====================================================
+
+Note ``PrY`` == ``clustered(Y, Y)`` and ``ShY`` == ``clustered(Y, 1)``
+(the paper's C40/C1 endpoints in Figure 11); the constructors normalize to
+the clustered formulation so downstream code handles a single geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+
+class DesignKind(Enum):
+    """Top-level family of a design point."""
+
+    BASELINE = "baseline"
+    DCL1 = "dcl1"  # the PrY / ShY / ShY+CZ family (geometry distinguishes them)
+    CDXBAR = "cdxbar"
+    SINGLE_L1 = "single_l1"
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One point in the design space.
+
+    Attributes
+    ----------
+    kind:
+        Design family.
+    num_dcl1:
+        Y — number of DC-L1 nodes (ignored for BASELINE/CDXBAR, where the
+        L1s stay in the cores).
+    num_clusters:
+        Z — number of shared clusters.  ``Z == num_dcl1`` makes every
+        DC-L1 private (PrY); ``Z == 1`` makes the whole level shared (ShY).
+    noc1_freq_mult / noc2_freq_mult:
+        Clock multipliers relative to the baseline NoC clock.  The paper's
+        ``+Boost`` sets ``noc1_freq_mult=2.0``.
+    l1_size_mult:
+        Total L1 capacity multiplier (the 16x study of Figure 1 and the
+        2x-cache boosted baseline of Section VIII-A).
+    perfect_l1:
+        Model the (DC-)L1s as always hitting (Figure 4c).
+    label:
+        Display name; auto-generated when empty.
+    """
+
+    kind: DesignKind = DesignKind.BASELINE
+    num_dcl1: int = 0
+    num_clusters: int = 0
+    noc1_freq_mult: float = 1.0
+    noc2_freq_mult: float = 1.0
+    l1_size_mult: float = 1.0
+    perfect_l1: bool = False
+    label: str = ""
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def baseline(
+        l1_size_mult: float = 1.0,
+        perfect_l1: bool = False,
+        noc2_freq_mult: float = 1.0,
+        label: str = "",
+    ) -> "DesignSpec":
+        """Conventional tightly-coupled private-L1 GPU."""
+        return DesignSpec(
+            kind=DesignKind.BASELINE,
+            l1_size_mult=l1_size_mult,
+            perfect_l1=perfect_l1,
+            noc2_freq_mult=noc2_freq_mult,
+            label=label or "Baseline",
+        )
+
+    @staticmethod
+    def private(num_dcl1: int, perfect_l1: bool = False, label: str = "") -> "DesignSpec":
+        """``PrY``: Y private aggregated DC-L1 nodes (Section IV)."""
+        if num_dcl1 <= 0:
+            raise ValueError("PrY needs a positive DC-L1 node count")
+        return DesignSpec(
+            kind=DesignKind.DCL1,
+            num_dcl1=num_dcl1,
+            num_clusters=num_dcl1,
+            perfect_l1=perfect_l1,
+            label=label or f"Pr{num_dcl1}",
+        )
+
+    @staticmethod
+    def shared(num_dcl1: int, perfect_l1: bool = False, label: str = "") -> "DesignSpec":
+        """``ShY``: fully shared DC-L1 organization (Section V)."""
+        if num_dcl1 <= 0:
+            raise ValueError("ShY needs a positive DC-L1 node count")
+        return DesignSpec(
+            kind=DesignKind.DCL1,
+            num_dcl1=num_dcl1,
+            num_clusters=1,
+            perfect_l1=perfect_l1,
+            label=label or f"Sh{num_dcl1}",
+        )
+
+    @staticmethod
+    def clustered(
+        num_dcl1: int,
+        num_clusters: int,
+        boost: float = 1.0,
+        perfect_l1: bool = False,
+        label: str = "",
+    ) -> "DesignSpec":
+        """``ShY+CZ`` (optionally ``+Boost``): clustered shared DC-L1s."""
+        if num_dcl1 <= 0 or num_clusters <= 0:
+            raise ValueError("clustered design needs positive Y and Z")
+        if num_dcl1 % num_clusters != 0:
+            raise ValueError(
+                f"cluster count {num_clusters} must divide DC-L1 count {num_dcl1}"
+            )
+        if not label:
+            label = f"Sh{num_dcl1}+C{num_clusters}"
+            if boost != 1.0:
+                label += "+Boost" if boost == 2.0 else f"+Boost{boost:g}x"
+        return DesignSpec(
+            kind=DesignKind.DCL1,
+            num_dcl1=num_dcl1,
+            num_clusters=num_clusters,
+            noc1_freq_mult=boost,
+            perfect_l1=perfect_l1,
+            label=label,
+        )
+
+    @staticmethod
+    def cdxbar(
+        noc1_freq_mult: float = 1.0,
+        noc2_freq_mult: float = 1.0,
+        label: str = "",
+    ) -> "DesignSpec":
+        """Hierarchical two-stage crossbar baseline (Figure 19a).
+
+        ``noc1_freq_mult`` boosts the first (core-side) stage, matching the
+        paper's CDXBar+2xNoC1; boosting both stages gives CDXBar+2xNoC.
+        """
+        if not label:
+            label = "CDXBar"
+            if noc1_freq_mult == 2.0 and noc2_freq_mult == 2.0:
+                label += "+2xNoC"
+            elif noc1_freq_mult == 2.0:
+                label += "+2xNoC1"
+        return DesignSpec(
+            kind=DesignKind.CDXBAR,
+            noc1_freq_mult=noc1_freq_mult,
+            noc2_freq_mult=noc2_freq_mult,
+            label=label,
+        )
+
+    @staticmethod
+    def single_l1(label: str = "") -> "DesignSpec":
+        """Section II-A's hypothetical: every core accesses one L1 holding
+        the total L1 capacity, with aggregate bandwidth preserved."""
+        return DesignSpec(
+            kind=DesignKind.SINGLE_L1,
+            num_dcl1=1,
+            num_clusters=1,
+            label=label or "SingleL1",
+        )
+
+    # -- derived helpers -----------------------------------------------------
+
+    @property
+    def is_decoupled(self) -> bool:
+        """True when L1s live in DC-L1 nodes rather than in the cores."""
+        return self.kind in (DesignKind.DCL1, DesignKind.SINGLE_L1)
+
+    @property
+    def is_private(self) -> bool:
+        """True when each DC-L1 is private to its core group (PrY)."""
+        return self.kind == DesignKind.DCL1 and self.num_clusters == self.num_dcl1
+
+    @property
+    def is_fully_shared(self) -> bool:
+        """True for ShY (a single cluster)."""
+        return self.kind == DesignKind.DCL1 and self.num_clusters == 1
+
+    @property
+    def boosted(self) -> bool:
+        return self.noc1_freq_mult > 1.0
+
+    def with_boost(self, boost: float = 2.0) -> "DesignSpec":
+        """Return this spec with NoC#1 frequency multiplied by ``boost``."""
+        label = self.label
+        if label and boost != 1.0 and "Boost" not in label:
+            label += "+Boost" if boost == 2.0 else f"+Boost{boost:g}x"
+        return replace(self, noc1_freq_mult=boost, label=label)
+
+    def with_perfect_l1(self) -> "DesignSpec":
+        """Return this spec with perfect (always-hit) L1s."""
+        label = self.label + "+PerfectL1" if self.label else ""
+        return replace(self, perfect_l1=True, label=label)
+
+    def __str__(self) -> str:
+        return self.label or self.kind.value

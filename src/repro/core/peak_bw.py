@@ -1,0 +1,103 @@
+"""Peak L1 bandwidth analytics (Table I).
+
+The baseline L1 sits inside the core and can return a full 128 B line per
+cycle, so the peak aggregate L1 bandwidth is ``line_bytes x num_cores`` per
+core cycle.  A DC-L1 node returns data to cores over its NoC#1 reply port
+— a 32 B link — so each node sustains ``flit_bytes x noc1_freq_mult``
+bytes per core-clock... relative to the 128 B/cycle core-side port this is
+where Table I's "Peak L1 BW drop" factors come from:
+
+=========  =====================  =====
+Config     Peak L1 BW             Drop
+=========  =====================  =====
+Baseline   128 B x 80             --
+Pr80       32 B x 80              4x
+Pr40       32 B x 40              8x
+Pr20       32 B x 20              16x
+Pr10       32 B x 10              32x
+=========  =====================  =====
+
+``+Boost`` doubles the NoC#1 clock, halving the drop (Section VI-C: 8x →
+4x for Sh40+C10+Boost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.designs import DesignKind, DesignSpec
+
+
+@dataclass(frozen=True)
+class PeakBandwidth:
+    """Peak aggregate L1-level bandwidth of a design point."""
+
+    label: str
+    bytes_per_cycle: float
+    drop_vs_baseline: float
+
+    def __str__(self) -> str:
+        drop = "-" if self.drop_vs_baseline <= 1.0 else f"{self.drop_vs_baseline:g}x"
+        return f"{self.label}: {self.bytes_per_cycle:g} B/cycle (drop {drop})"
+
+
+def peak_l1_bandwidth(
+    spec: DesignSpec,
+    num_cores: int,
+    line_bytes: int = 128,
+    flit_bytes: int = 32,
+) -> PeakBandwidth:
+    """Peak aggregate L1 bandwidth (bytes per core cycle) for ``spec``."""
+    baseline_bw = float(line_bytes * num_cores)
+    if spec.kind in (DesignKind.BASELINE, DesignKind.CDXBAR):
+        bw = baseline_bw * spec.l1_size_mult ** 0  # capacity does not change ports
+    elif spec.kind == DesignKind.SINGLE_L1:
+        # Section II-A's hypothetical preserves aggregate bandwidth.
+        bw = baseline_bw
+    else:
+        bw = float(flit_bytes) * spec.num_dcl1 * spec.noc1_freq_mult
+    drop = baseline_bw / bw if bw < baseline_bw else 1.0
+    return PeakBandwidth(spec.label or str(spec), bw, drop)
+
+
+def table1_rows(
+    num_cores: int = 80,
+    num_l2: int = 32,
+    line_bytes: int = 128,
+    flit_bytes: int = 32,
+    node_counts: List[int] = (80, 40, 20, 10),
+) -> List[dict]:
+    """Regenerate Table I: NoC shapes + peak bandwidth for each PrY."""
+    from repro.core.clusters import ClusterGeometry
+
+    rows = [
+        {
+            "config": "Baseline",
+            "noc1": "NA",
+            "noc2": f"{num_cores}x{num_l2} XBar",
+            "peak_bw": f"{line_bytes} Bytes x {num_cores}",
+            "drop": "-",
+        }
+    ]
+    for y in node_counts:
+        spec = DesignSpec.private(y)
+        geo = ClusterGeometry.from_design(spec, num_cores, num_l2)
+        (count1, n_in1, n_out1), = geo.noc1_shapes()
+        (count2, n_in2, n_out2), = geo.noc2_shapes()
+        bw = peak_l1_bandwidth(spec, num_cores, line_bytes, flit_bytes)
+        noc1 = (
+            f"{count1}x ({n_in1}x{n_out1})"
+            if n_in1 > 1
+            else f"{count1} direct {flit_bytes}B links"
+        )
+        rows.append(
+            {
+                "config": spec.label,
+                "noc1": noc1,
+                "noc2": f"{count2}x ({n_in2}x{n_out2}) XBar",
+                "peak_bw": f"{flit_bytes} Bytes x {y}",
+                "drop": f"{bw.drop_vs_baseline:g}x",
+            }
+        )
+    return rows

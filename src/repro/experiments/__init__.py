@@ -1,0 +1,15 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(runner) -> ExperimentReport``.  The
+shared :class:`~repro.experiments.base.Runner` memoizes simulation results
+by (application, design, configuration), so experiments that share runs —
+e.g. Figures 14, 15, 16 and 17 all consume the same 28 x 5 design matrix —
+pay for each simulation once per process.
+
+The paper-reported values each experiment targets live in its module-level
+``PAPER`` dict and are folded into EXPERIMENTS.md.
+"""
+
+from repro.experiments.base import ExperimentReport, Runner, default_runner
+
+__all__ = ["ExperimentReport", "Runner", "default_runner"]

@@ -1,0 +1,103 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four studies, each isolating one decision the paper makes (mostly in
+Section III / VI) and measuring what it is worth on the workloads where it
+matters:
+
+1. **Reply granularity** — NoC#1 read replies carry only the requested
+   data (Section III) vs whole 128 B lines.  Evaluated on the
+   bandwidth-sensitive apps, where wasted reply flits eat the already-
+   reduced peak L1 bandwidth.
+2. **Boost factor** — NoC#1 frequency 1x/1.5x/2x/3x on the replication-
+   sensitive set.  2x is what the 8x4 crossbars support (Figure 13b);
+   beyond it, returns should flatten as other resources bind.
+3. **Home selection** — modulo interleave (our default, any M) vs explicit
+   home-bit extraction (power-of-two M), checking the two are equivalent
+   when both apply (M = 4 under Sh40+C10).
+4. **Replacement policy** — LRU vs FIFO DC-L1s under the final design;
+   block-sweep reuse favours LRU, so FIFO should cost some hit rate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.workloads.suite import REPLICATION_SENSITIVE
+
+PAPER = {
+    # Qualitative expectations; the paper does not sweep these.
+    "full_line_replies_slower": 1.0,
+    "boost2_over_boost1": 1.0,
+}
+
+BANDWIDTH_APPS = ("P-2DCONV", "P-3DCONV")
+C10 = DesignSpec.clustered(40, 10)
+BOOST = DesignSpec.clustered(40, 10, boost=2.0)
+
+
+def _group_speedup(runner: Runner, spec: DesignSpec, names, **kwargs) -> float:
+    vals = []
+    for n in names:
+        base = runner.run(n, BASELINE)
+        vals.append(runner.run(n, spec, **kwargs).speedup_vs(base))
+    return geomean(vals)
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    summary = {}
+
+    # 1. Reply granularity on bandwidth-sensitive apps.
+    lean = _group_speedup(runner, BOOST, BANDWIDTH_APPS)
+    fat = _group_speedup(
+        runner, BOOST, BANDWIDTH_APPS, overrides={"full_line_noc1_replies": True}
+    )
+    rows.append({"study": "reply=requested-data (paper)", "speedup": lean})
+    rows.append({"study": "reply=full-line", "speedup": fat})
+    summary["reply_requested"] = lean
+    summary["reply_full_line"] = fat
+    summary["full_line_replies_slower"] = float(fat <= lean + 1e-9)
+
+    # 2. Boost factor sweep on the replication-sensitive set.
+    boost_speedups = {}
+    for boost in (1.0, 1.5, 2.0, 3.0):
+        spec = DesignSpec.clustered(40, 10, boost=boost)
+        sp = _group_speedup(runner, spec, REPLICATION_SENSITIVE)
+        boost_speedups[boost] = sp
+        rows.append({"study": f"boost={boost:g}x", "speedup": sp})
+        summary[f"boost_{boost:g}x"] = sp
+    summary["boost2_over_boost1"] = float(boost_speedups[2.0] > boost_speedups[1.0])
+    gain_12 = boost_speedups[2.0] - boost_speedups[1.0]
+    gain_23 = boost_speedups[3.0] - boost_speedups[2.0]
+    summary["boost_diminishing_returns"] = float(gain_23 < gain_12 + 0.02)
+
+    # 3. Home selection strategy (M = 4 is a power of two under C10).
+    camper = "P-2MM"
+    interleave = runner.run(camper, C10).speedup_vs(runner.run(camper, BASELINE))
+    bits = runner.run(
+        camper, C10, overrides={"home_strategy": "bits"}
+    ).speedup_vs(runner.run(camper, BASELINE))
+    rows.append({"study": "home=interleave (P-2MM)", "speedup": interleave})
+    rows.append({"study": "home=bits (P-2MM)", "speedup": bits})
+    summary["home_interleave"] = interleave
+    summary["home_bits"] = bits
+
+    # 4. Replacement policy under the final design.
+    lru = _group_speedup(runner, BOOST, REPLICATION_SENSITIVE)
+    fifo = _group_speedup(
+        runner, BOOST, REPLICATION_SENSITIVE, overrides={"l1_policy": "fifo"}
+    )
+    rows.append({"study": "l1=LRU (paper)", "speedup": lru})
+    rows.append({"study": "l1=FIFO", "speedup": fifo})
+    summary["policy_lru"] = lru
+    summary["policy_fifo"] = fifo
+
+    return ExperimentReport(
+        experiment="ablations",
+        title="Design-choice ablations (reply size / boost factor / home bits / policy)",
+        columns=["study", "speedup"],
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

@@ -1,0 +1,137 @@
+"""Shared experiment infrastructure.
+
+:class:`Runner` is a memoizing front-end to :func:`repro.sim.system.simulate`:
+experiments request ``runner.run(app_name, spec, ...)`` and identical
+requests are served from cache.  The workload scale can be set globally via
+the ``REPRO_SCALE`` environment variable (1.0 = the calibrated benchmark
+scale; tests use much smaller scales and only assert coarse invariants).
+
+:class:`ExperimentReport` is the uniform result: named rows, a summary of
+headline numbers, the paper's reported values, and a text rendering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_dict_table
+from repro.core.designs import DesignSpec
+from repro.sim.config import GPUConfig, SimConfig
+from repro.sim.results import SimResult
+from repro.sim.system import simulate
+from repro.workloads.profile import AppProfile
+from repro.workloads.suite import get_app
+
+#: The paper's four proposed designs (Section VIII) in presentation order.
+PROPOSED_DESIGNS: Sequence[DesignSpec] = (
+    DesignSpec.private(40),
+    DesignSpec.shared(40),
+    DesignSpec.clustered(40, 10),
+    DesignSpec.clustered(40, 10, boost=2.0),
+)
+
+BASELINE = DesignSpec.baseline()
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Workload scale from ``REPRO_SCALE`` (default: calibrated 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform output of one experiment."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    paper: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable table plus headline comparison."""
+        parts = [format_dict_table(self.rows, self.columns,
+                                   title=f"[{self.experiment}] {self.title}")]
+        if self.summary:
+            parts.append("measured: " + ", ".join(
+                f"{k}={v:.3f}" for k, v in self.summary.items()))
+        if self.paper:
+            parts.append("paper:    " + ", ".join(
+                f"{k}={v:.3f}" for k, v in self.paper.items()))
+        return "\n".join(parts)
+
+
+class Runner:
+    """Memoizing simulation runner shared across experiments."""
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        self.config = config or SimConfig(scale=env_scale())
+        self._cache: Dict[tuple, SimResult] = {}
+        self.sims_run = 0
+
+    def run(
+        self,
+        app,
+        spec: DesignSpec,
+        scheduler: Optional[str] = None,
+        l1_latency_override: Optional[float] = None,
+        gpu: Optional[GPUConfig] = None,
+        scale: Optional[float] = None,
+        overrides: Optional[dict] = None,
+    ) -> SimResult:
+        """Simulate (from cache when possible).
+
+        ``overrides`` maps additional :class:`SimConfig` field names to
+        values (used by the ablation studies).
+        """
+        profile = get_app(app) if isinstance(app, str) else app
+        cfg = self.config
+        changes = dict(overrides) if overrides else {}
+        if scheduler is not None:
+            changes["cta_scheduler"] = scheduler
+        if l1_latency_override is not None:
+            changes["l1_latency_override"] = l1_latency_override
+        if gpu is not None:
+            changes["gpu"] = gpu
+        if scale is not None:
+            changes["scale"] = scale
+        if changes:
+            cfg = dataclasses.replace(cfg, **changes)
+        key = (profile, spec, cfg)
+        result = self._cache.get(key)
+        if result is None:
+            result = simulate(profile, spec, cfg)
+            self._cache[key] = result
+            self.sims_run += 1
+        return result
+
+    def speedup(self, app, spec: DesignSpec, **kwargs) -> float:
+        """IPC of ``spec`` normalized to the baseline design (same config)."""
+        base = self.run(app, BASELINE, **kwargs)
+        res = self.run(app, spec, **kwargs)
+        return res.speedup_vs(base)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+_DEFAULT: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """Process-wide shared runner (used by the benchmark harness)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Runner()
+    return _DEFAULT
+
+
+def profile_for(app) -> AppProfile:
+    return get_app(app) if isinstance(app, str) else app

@@ -1,0 +1,88 @@
+"""Extension study — larger DC-L1s and boosted NoC#2 (Section VIII-A's
+closing remark: "our proposed designs are expected to improve performance
+with larger DC-L1s or boosted NoC resources").
+
+Three extension axes on top of Sh40+C10+Boost, evaluated on the
+replication-sensitive applications:
+
+* **capacity** — 2x / 4x total DC-L1 capacity (per-node size scales; the
+  access-latency model charges the extra cycles per doubling);
+* **NoC#2 boost** — doubling the per-range Z x O crossbars' clock too
+  (they are small enough per the frequency model, unlike the baseline's
+  80x32);
+* **both** — the combined headroom.
+
+The paper does not quantify these; the expectation we verify is monotone
+improvement, with capacity helping most for the apps whose footprints
+exceed the per-cluster capacity (S-Reduction, P-SYRK).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.metrics import geomean
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.noc.dsent import DsentModel
+from repro.workloads.suite import REPLICATION_SENSITIVE
+
+PAPER = {
+    # Qualitative: bigger DC-L1s / faster NoC#2 should not hurt.
+    "capacity_monotone": 1.0,
+}
+
+BOOST = DesignSpec.clustered(40, 10, boost=2.0)
+BIG_FOOTPRINT_APPS = ("S-Reduction", "P-SYRK")
+
+
+def _with(spec: DesignSpec, label: str, **changes) -> DesignSpec:
+    return dataclasses.replace(spec, label=label, **changes)
+
+
+VARIANTS = (
+    BOOST,
+    _with(BOOST, "Sh40+C10+Boost+2xL1", l1_size_mult=2.0),
+    _with(BOOST, "Sh40+C10+Boost+4xL1", l1_size_mult=4.0),
+    _with(BOOST, "Sh40+C10+Boost+2xNoC2", noc2_freq_mult=2.0),
+    _with(BOOST, "Sh40+C10+Boost+2xL1+2xNoC2", l1_size_mult=2.0, noc2_freq_mult=2.0),
+)
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    summary = {}
+    speedups = {}
+    for spec in VARIANTS:
+        vals, big = [], []
+        for name in REPLICATION_SENSITIVE:
+            base = runner.run(name, BASELINE)
+            sp = runner.run(name, spec).speedup_vs(base)
+            vals.append(sp)
+            if name in BIG_FOOTPRINT_APPS:
+                big.append(sp)
+        sp_all, sp_big = geomean(vals), geomean(big)
+        speedups[spec.label] = sp_all
+        rows.append(
+            {"config": spec.label, "sensitive": sp_all, "big_footprint": sp_big}
+        )
+    base_label = BOOST.label
+    summary["boost"] = speedups[base_label]
+    summary["boost_2xl1"] = speedups["Sh40+C10+Boost+2xL1"]
+    summary["boost_4xl1"] = speedups["Sh40+C10+Boost+4xL1"]
+    summary["boost_2xnoc2"] = speedups["Sh40+C10+Boost+2xNoC2"]
+    summary["boost_combined"] = speedups["Sh40+C10+Boost+2xL1+2xNoC2"]
+    summary["capacity_monotone"] = float(
+        summary["boost_4xl1"] >= summary["boost_2xl1"] - 0.02
+        and summary["boost_2xl1"] >= summary["boost"] - 0.02
+    )
+    # The 10x8 NoC#2 crossbars really can clock 2x 700 MHz.
+    summary["noc2_boost_feasible"] = float(DsentModel.supports_frequency(10, 8, 1.4))
+    return ExperimentReport(
+        experiment="ext-capacity",
+        title="Extensions: larger DC-L1s and boosted NoC#2 on Sh40+C10+Boost",
+        columns=["config", "sensitive", "big_footprint"],
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

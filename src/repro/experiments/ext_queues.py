@@ -1,0 +1,77 @@
+"""Extension study — finite DC-L1 node queues (Figure 3's Q1 depth).
+
+The paper sizes each DC-L1 node queue at four 128 B entries and costs
+their area (6.25% of the L1 budget, Figure 18b), but the performance
+evaluation leaves queue depth implicit.  This study turns on credit-based
+Q1 backpressure and sweeps the depth on two workload classes:
+
+* a *camping* application (P-2MM): finite queues sharpen the hotspot —
+  requests for the camped homes now stall the cores instead of piling up
+  in the (previously infinite) queue model;
+* a well-behaved replication-sensitive application (T-AlexNet): modest
+  depths should recover the infinite-queue performance.
+
+Mapping note: the paper's node holds *four* queues of four entries
+(16 entries of buffering per node); our credit model gates everything on
+a single Q1 pool whose slots are held through NoC delivery and bank
+service, so a pool of ~8 is the fair stand-in for the paper's provisioning
+— and is indeed where performance converges to the infinite-queue model.
+"""
+
+from __future__ import annotations
+
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+
+PAPER = {
+    # Qualitative: the paper-equivalent buffering behaves like infinite
+    # queues off the camping pathologies; depth 1 visibly throttles.
+    "depth8_close_to_infinite": 1.0,
+}
+
+BOOST = DesignSpec.clustered(40, 10, boost=2.0)
+SH40 = DesignSpec.shared(40)
+DEPTHS = (1, 2, 4, 8)
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    summary = {}
+    for app, spec, tag in (("T-AlexNet", BOOST, "alexnet_boost"),
+                           ("P-2MM", SH40, "p2mm_sh40")):
+        base = runner.run(app, BASELINE)
+        infinite = runner.run(app, spec)
+        sp_inf = infinite.speedup_vs(base)
+        rows.append({
+            "config": f"{app} / {spec.label} / Q=inf",
+            "speedup": sp_inf,
+            "queue_stalls": infinite.node_queue_stalls,
+        })
+        summary[f"{tag}_inf"] = sp_inf
+        for depth in DEPTHS:
+            res = runner.run(app, spec, overrides={"dcl1_queue_depth": depth})
+            sp = res.speedup_vs(base)
+            rows.append({
+                "config": f"{app} / {spec.label} / Q={depth}",
+                "speedup": sp,
+                "queue_stalls": res.node_queue_stalls,
+            })
+            summary[f"{tag}_q{depth}"] = sp
+    summary["depth8_close_to_infinite"] = float(
+        summary["alexnet_boost_q8"] >= 0.9 * summary["alexnet_boost_inf"]
+    )
+    depths = [summary[f"alexnet_boost_q{d}"] for d in DEPTHS]
+    summary["monotone_in_depth"] = float(
+        all(b >= a - 0.02 for a, b in zip(depths, depths[1:]))
+    )
+    summary["depth1_throttles_camping"] = float(
+        summary["p2mm_sh40_q1"] <= summary["p2mm_sh40_inf"] + 0.02
+    )
+    return ExperimentReport(
+        experiment="ext-queues",
+        title="Finite DC-L1 node queue (Q1) depth sweep",
+        columns=["config", "speedup", "queue_stalls"],
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

@@ -1,0 +1,66 @@
+"""Figure 1 — motivation: replication ratio, L1 miss rate, 16x-L1 speedup.
+
+For every application we run the private-L1 baseline and a baseline with
+16x the per-core L1 capacity (the paper's capacity-sensitivity probe; as
+in the paper's hypothetical, the larger cache keeps the baseline access
+latency), then apply the Section II-A classification rule.  Rows are
+sorted by replication ratio ascending, matching the figure's layout.
+
+Paper: 15 applications are capacity-sensitive with high replication; 12
+satisfy all three criteria and are classified replication-sensitive
+(T-AlexNet's replication ratio is 95%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.classify import classify
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.core.designs import DesignSpec
+from repro.workloads.suite import REPLICATION_SENSITIVE, all_apps
+
+PAPER = {
+    "num_replication_sensitive": 12,
+    "t_alexnet_replication_ratio": 0.95,
+}
+
+BIG_CACHE = DesignSpec.baseline(l1_size_mult=16.0, label="Baseline16x")
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    sensitive_count = 0
+    agreement = 0
+    for prof in all_apps():
+        base = runner.run(prof, BASELINE)
+        big = runner.run(prof, BIG_CACHE, l1_latency_override=runner.config.gpu.l1_latency)
+        row = classify(base, big)
+        expected = prof.name in REPLICATION_SENSITIVE
+        if row.replication_sensitive:
+            sensitive_count += 1
+        if row.replication_sensitive == expected:
+            agreement += 1
+        rows.append(
+            {
+                "app": row.app,
+                "replication_ratio": row.replication_ratio,
+                "l1_miss_rate": row.l1_miss_rate,
+                "speedup_16x": row.speedup_16x,
+                "sensitive": row.replication_sensitive,
+                "paper_class": expected,
+            }
+        )
+    rows.sort(key=lambda r: r["replication_ratio"])
+    alexnet = next(r for r in rows if r["app"] == "T-AlexNet")
+    return ExperimentReport(
+        experiment="fig01",
+        title="Replication ratio / L1 miss rate / IPC under 16x L1 (ascending replication)",
+        columns=["app", "replication_ratio", "l1_miss_rate", "speedup_16x",
+                 "sensitive", "paper_class"],
+        rows=rows,
+        summary={
+            "num_replication_sensitive": float(sensitive_count),
+            "classification_agreement": agreement / len(rows),
+            "t_alexnet_replication_ratio": alexnet["replication_ratio"],
+        },
+        paper=PAPER,
+    )

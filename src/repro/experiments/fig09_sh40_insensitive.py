@@ -1,0 +1,53 @@
+"""Figure 9 — fully shared Sh40 on the replication-insensitive applications.
+
+Paper: most insensitive applications tolerate Sh40's latency; R-SC
+*improves* (the shared organization smooths its CTA-assignment load
+imbalance); five "poor-performing" applications lose 40-85%:
+C-NN (latency-sensitive, high hit rate), C-RAY / P-3MM / P-GEMM
+(partition camping), P-2DCONV (peak-bandwidth-sensitive).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.workloads.suite import POOR_PERFORMING, replication_insensitive_apps
+
+PAPER = {
+    "poor_min_speedup": 0.15,  # "maximum = 85%" drop
+    "poor_max_speedup": 0.60,  # "minimum = 40%" drop
+    "r_sc_improves": 1.0,
+}
+
+SH40 = DesignSpec.shared(40)
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    for prof in replication_insensitive_apps():
+        base = runner.run(prof, BASELINE)
+        sh = runner.run(prof, SH40)
+        rows.append(
+            {
+                "app": prof.name,
+                "speedup": sh.speedup_vs(base),
+                "poor_performer": prof.name in POOR_PERFORMING,
+            }
+        )
+    rows.sort(key=lambda r: r["speedup"])
+    poor = [r["speedup"] for r in rows if r["poor_performer"]]
+    r_sc = next(r["speedup"] for r in rows if r["app"] == "R-SC")
+    return ExperimentReport(
+        experiment="fig09",
+        title="Sh40 on replication-insensitive apps (normalized to baseline)",
+        columns=["app", "speedup", "poor_performer"],
+        rows=rows,
+        summary={
+            "mean_speedup": geomean(r["speedup"] for r in rows),
+            "poor_min_speedup": min(poor),
+            "poor_max_speedup": max(poor),
+            "r_sc_speedup": r_sc,
+        },
+        paper=PAPER,
+    )

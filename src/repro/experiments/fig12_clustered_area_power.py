@@ -1,0 +1,54 @@
+"""Figure 12 — NoC area and static power versus cluster count.
+
+Analytical: the clustered design replaces the 80x40 NoC#1 crossbar with
+Z small crossbars and the 40x32 NoC#2 crossbar with per-address-range
+Z x O crossbars.
+
+Paper: NoC area savings of 45%/50%/45% and static power savings of
+15%/16%/14% for C5/C10/C20 versus the baseline; Sh40 (C1) instead costs
++69% area and +57% static power.
+"""
+
+from __future__ import annotations
+
+from repro.core.designs import DesignSpec
+from repro.experiments.base import ExperimentReport, Runner
+from repro.noc.dsent import DsentModel, design_inventory
+
+PAPER = {
+    "c1_area": 1.69,
+    "c5_area": 0.55,
+    "c10_area": 0.50,
+    "c20_area": 0.55,
+    "c1_static": 1.57,
+    "c5_static": 0.85,
+    "c10_static": 0.84,
+    "c20_static": 0.86,
+}
+
+CLUSTER_COUNTS = (1, 5, 10, 20, 40)
+
+
+def run(runner: Runner) -> ExperimentReport:
+    gpu = runner.config.gpu
+    cores, l2 = gpu.num_cores, gpu.num_l2_slices
+    base_inv = design_inventory(DesignSpec.baseline(), cores, l2)
+    base_area = DsentModel.area_units(base_inv)
+    base_static = DsentModel.static_units(base_inv)
+    rows = [{"config": "Baseline", "area_norm": 1.0, "static_power_norm": 1.0}]
+    summary = {}
+    for z in CLUSTER_COUNTS:
+        inv = design_inventory(DesignSpec.clustered(40, z), cores, l2)
+        area = DsentModel.area_units(inv) / base_area
+        static = DsentModel.static_units(inv) / base_static
+        rows.append({"config": f"C{z}", "area_norm": area, "static_power_norm": static})
+        summary[f"c{z}_area"] = area
+        summary[f"c{z}_static"] = static
+    return ExperimentReport(
+        experiment="fig12",
+        title="NoC area and static power vs cluster count (normalized)",
+        columns=["config", "area_norm", "static_power_norm"],
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

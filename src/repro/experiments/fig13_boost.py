@@ -1,0 +1,80 @@
+"""Figure 13 — poor performers under clustering, and crossbar frequencies.
+
+(a) The five poor-performing replication-insensitive applications under
+Sh40, Sh40+C10 and Sh40+C10+Boost, normalized to the baseline.  Paper:
+clustering relieves the camping victims (C-RAY, P-3MM, P-GEMM) and the
+frequency boost lifts all five (P-2DCONV most — it is peak-bandwidth-
+sensitive), though some loss can remain.
+
+(b) Maximum operating frequency of the crossbars each design uses
+(DSENT-like model).  Paper: the 80x32 / 80x40 crossbars cannot reach
+2x the 700 MHz baseline NoC clock, while the small 2x1 / 8x4 crossbars
+clock far higher — the headroom the +Boost design exploits.
+"""
+
+from __future__ import annotations
+
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.noc.dsent import DsentModel
+from repro.workloads.suite import POOR_PERFORMING
+
+PAPER = {
+    "baseline_noc_ghz": 0.7,
+    "boosted_noc_ghz": 1.4,
+    "xbar_80x32_supports_2x": 0.0,
+    "xbar_8x4_supports_2x": 1.0,
+}
+
+DESIGNS = (
+    DesignSpec.shared(40),
+    DesignSpec.clustered(40, 10),
+    DesignSpec.clustered(40, 10, boost=2.0),
+)
+
+XBAR_SHAPES = ((80, 32), (80, 40), (40, 32), (16, 8), (10, 8), (8, 4), (4, 2), (2, 1))
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    for name in POOR_PERFORMING:
+        base = runner.run(name, BASELINE)
+        row = {"app": name}
+        for spec in DESIGNS:
+            row[spec.label] = runner.run(name, spec).speedup_vs(base)
+        rows.append(row)
+
+    freq_rows = []
+    for n_in, n_out in XBAR_SHAPES:
+        ghz = DsentModel.max_frequency_ghz(n_in, n_out)
+        freq_rows.append(
+            {
+                "app": f"xbar {n_in}x{n_out}",
+                "Sh40": ghz,
+                "Sh40+C10": float(ghz >= PAPER["baseline_noc_ghz"]),
+                "Sh40+C10+Boost": float(ghz >= PAPER["boosted_noc_ghz"]),
+            }
+        )
+
+    boost_label = DESIGNS[2].label
+    return ExperimentReport(
+        experiment="fig13",
+        title=(
+            "(a) Poor performers under Sh40 / +C10 / +Boost; "
+            "(b) crossbar max GHz (columns reused: value / supports 700MHz / supports 1.4GHz)"
+        ),
+        columns=["app", "Sh40", "Sh40+C10", "Sh40+C10+Boost"],
+        rows=rows + freq_rows,
+        summary={
+            "poor_mean_boost_speedup": (
+                sum(r[boost_label] for r in rows) / len(rows)
+            ),
+            "xbar_80x32_supports_2x": float(
+                DsentModel.supports_frequency(80, 32, PAPER["boosted_noc_ghz"])
+            ),
+            "xbar_8x4_supports_2x": float(
+                DsentModel.supports_frequency(8, 4, PAPER["boosted_noc_ghz"])
+            ),
+        },
+        paper=PAPER,
+    )

@@ -1,0 +1,55 @@
+"""Figure 14 — overall IPC of all proposed designs.
+
+All four proposed designs (Pr40, Sh40, Sh40+C10, Sh40+C10+Boost) on every
+application, normalized to the private-L1 baseline; averaged over the
+replication-sensitive set, the insensitive set, and all 28 applications.
+
+Paper: replication-sensitive improvements of 15% / 48% / 41% / 75%;
+insensitive drops of 7% / 22% / 11% / <1%; overall +27% for
+Sh40+C10+Boost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, ExperimentReport, Runner
+from repro.workloads.suite import REPLICATION_SENSITIVE, all_apps
+
+PAPER = {
+    "sensitive_Pr40": 1.15,
+    "sensitive_Sh40": 1.48,
+    "sensitive_Sh40+C10": 1.41,
+    "sensitive_Sh40+C10+Boost": 1.75,
+    "insensitive_Sh40+C10+Boost": 0.99,
+    "all_Sh40+C10+Boost": 1.27,
+}
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    for prof in all_apps():
+        base = runner.run(prof, BASELINE)
+        row = {"app": prof.name, "sensitive": prof.name in REPLICATION_SENSITIVE}
+        for spec in PROPOSED_DESIGNS:
+            row[spec.label] = runner.run(prof, spec).speedup_vs(base)
+        rows.append(row)
+
+    summary = {}
+    groups = {
+        "sensitive": [r for r in rows if r["sensitive"]],
+        "insensitive": [r for r in rows if not r["sensitive"]],
+        "all": rows,
+    }
+    for gname, grows in groups.items():
+        for spec in PROPOSED_DESIGNS:
+            summary[f"{gname}_{spec.label}"] = geomean(r[spec.label] for r in grows)
+
+    columns = ["app", "sensitive"] + [spec.label for spec in PROPOSED_DESIGNS]
+    return ExperimentReport(
+        experiment="fig14",
+        title="IPC of all proposed designs (normalized to private-L1 baseline)",
+        columns=columns,
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

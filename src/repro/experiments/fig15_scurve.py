@@ -1,0 +1,63 @@
+"""Figure 15 — S-curve of per-application speedups under every design.
+
+Speedups of all 28 applications sorted ascending per design (each design's
+curve is sorted independently, as in the paper's figure).  The claim being
+reproduced: Sh40+C10+Boost lifts the head of the curve (replication-
+sensitive wins) while pushing its tail toward 1.0 — no application is left
+far below baseline — whereas Sh40's tail collapses.
+
+Rows: one per rank position (the actual S-curves, one column per design),
+followed by summary rows naming each curve's tail and head applications.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.metrics import s_curve
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, ExperimentReport, Runner
+from repro.workloads.suite import all_apps
+
+PAPER = {
+    # Qualitative: the boosted design's tail is far above Sh40's.
+    "boost_tail_above_sh40_tail": 1.0,
+}
+
+
+def run(runner: Runner) -> ExperimentReport:
+    curves = {}
+    for spec in PROPOSED_DESIGNS:
+        speedups = {}
+        for prof in all_apps():
+            base = runner.run(prof, BASELINE)
+            speedups[prof.name] = runner.run(prof, spec).speedup_vs(base)
+        curves[spec.label] = s_curve(speedups)
+
+    labels = [spec.label for spec in PROPOSED_DESIGNS]
+    rows = []
+    num_apps = len(next(iter(curves.values())))
+    for rank in range(num_apps):
+        row = {"rank": rank}
+        for label in labels:
+            row[label] = curves[label][rank][1]
+        rows.append(row)
+
+    summary = {}
+    for label in labels:
+        values = [v for _n, v in curves[label]]
+        summary[f"{label}_tail"] = values[0]
+        summary[f"{label}_median"] = statistics.median(values)
+        summary[f"{label}_head"] = values[-1]
+    sh40_tail = summary["Sh40_tail"]
+    boost_label = PROPOSED_DESIGNS[-1].label
+    boost_tail = summary[f"{boost_label}_tail"]
+    summary["boost_tail_above_sh40_tail"] = float(boost_tail > sh40_tail)
+
+    return ExperimentReport(
+        experiment="fig15",
+        title="Speedup S-curves (per-rank rows; each design sorted independently)",
+        columns=["rank"] + labels,
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

@@ -1,0 +1,57 @@
+"""Figure 16 — L1 miss rate and replica counts under every design.
+
+DC-L1 miss rate of each proposed design normalized to the baseline
+(replication-sensitive applications), plus the average replica count per
+cache line, the paper's direct measure of replication.
+
+Paper: replica counts average 7.7 (baseline), 5.7 (Pr40), 2.8
+(Sh40+C10+Boost) and exactly 1 copy (zero replicas) under Sh40; miss-rate
+reduction orders Sh40 > Sh40+C10 > Pr40.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import amean
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, ExperimentReport, Runner
+from repro.workloads.suite import REPLICATION_SENSITIVE
+
+PAPER = {
+    "baseline_replicas": 7.7,
+    "Pr40_replicas": 5.7,
+    "Sh40+C10+Boost_replicas": 2.8,
+    "Sh40_replicas": 1.0,
+}
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    base_missn = []
+    base_replicas = []
+    for name in REPLICATION_SENSITIVE:
+        base = runner.run(name, BASELINE)
+        base_replicas.append(base.mean_replicas)
+        row = {"app": name, "baseline_replicas": base.mean_replicas}
+        for spec in PROPOSED_DESIGNS:
+            res = runner.run(name, spec)
+            row[f"{spec.label}_missN"] = res.miss_rate_vs(base)
+            row[f"{spec.label}_replicas"] = res.mean_replicas
+        rows.append(row)
+        base_missn.append(1.0)
+
+    summary = {"baseline_replicas": amean(base_replicas)}
+    for spec in PROPOSED_DESIGNS:
+        summary[f"{spec.label}_missN"] = amean(r[f"{spec.label}_missN"] for r in rows)
+        summary[f"{spec.label}_replicas"] = amean(
+            r[f"{spec.label}_replicas"] for r in rows
+        )
+    columns = ["app", "baseline_replicas"]
+    for spec in PROPOSED_DESIGNS:
+        columns += [f"{spec.label}_missN", f"{spec.label}_replicas"]
+    return ExperimentReport(
+        experiment="fig16",
+        title="Normalized miss rate and mean replica counts (replication-sensitive apps)",
+        columns=columns,
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

@@ -1,0 +1,48 @@
+"""Figure 17 — DC-L1 data-port utilization S-curves.
+
+Maximum (DC-)L1 data-port utilization per application, per design, sorted
+ascending.  Aggregating the L1 level into fewer nodes concentrates the
+same demand onto fewer ports, so every DC-L1 design shows higher port
+utilization than the baseline — one of the paper's two headline
+inefficiency fixes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import amean
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, ExperimentReport, Runner
+from repro.workloads.suite import all_apps
+
+PAPER = {
+    # Qualitative: all proposed designs above the baseline curve.
+    "all_designs_above_baseline": 1.0,
+}
+
+
+def run(runner: Runner) -> ExperimentReport:
+    rows = []
+    for prof in all_apps():
+        row = {"app": prof.name}
+        row["Baseline"] = runner.run(prof, BASELINE).l1_port_util_max
+        for spec in PROPOSED_DESIGNS:
+            row[spec.label] = runner.run(prof, spec).l1_port_util_max
+        rows.append(row)
+    rows.sort(key=lambda r: r["Baseline"])
+
+    base_mean = amean(r["Baseline"] for r in rows)
+    summary = {"Baseline_mean_util": base_mean}
+    above = True
+    for spec in PROPOSED_DESIGNS:
+        mean_util = amean(r[spec.label] for r in rows)
+        summary[f"{spec.label}_mean_util"] = mean_util
+        above = above and mean_util > base_mean
+    summary["all_designs_above_baseline"] = float(above)
+
+    return ExperimentReport(
+        experiment="fig17",
+        title="Max L1/DC-L1 data-port utilization per app (ascending baseline)",
+        columns=["app", "Baseline"] + [s.label for s in PROPOSED_DESIGNS],
+        rows=rows,
+        summary=summary,
+        paper=PAPER,
+    )

@@ -1,0 +1,91 @@
+"""Figure 18 — NoC power breakdown and area accounting of Sh40+C10+Boost.
+
+(a) Static, dynamic and total NoC power of Sh40+C10+Boost normalized to
+the baseline, aggregated over all applications, plus the resulting energy
+and efficiency metrics.  The dynamic-energy scale is calibrated on the
+measured baseline runs (see :mod:`repro.power.energy`).
+
+(b) L1-level area: the DC-L1 node queues cost ~6.25% of the baseline L1
+capacity, more than offset by ~8% savings from aggregating into half as
+many banks; the NoC shrinks by ~50%.
+
+Paper: static -16%, dynamic +20%, total -2%; energy -35%; perf/W +29.5%;
+perf/energy +95%; queue overhead 6.25%; cache-area saving 8%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import amean, geomean
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.noc.dsent import DsentModel, design_inventory
+from repro.power.cacti import l1_level_area_report
+from repro.power.energy import EnergyModel
+from repro.workloads.suite import all_apps
+
+PAPER = {
+    "static_norm": 0.84,
+    "dynamic_norm": 1.20,
+    "total_norm": 0.98,
+    "energy_norm": 0.65,
+    "perf_per_watt_gain": 1.295,
+    "perf_per_energy_gain": 1.95,
+    "queue_overhead": 0.0625,
+    "cache_area_saving": 0.08,
+    "noc_area_norm": 0.50,
+}
+
+BOOST = DesignSpec.clustered(40, 10, boost=2.0)
+
+
+def run(runner: Runner) -> ExperimentReport:
+    gpu = runner.config.gpu
+    model = EnergyModel(gpu.num_cores, gpu.num_l2_slices)
+
+    # Calibrate the dynamic scale on the mean baseline traffic intensity.
+    base_results = [runner.run(p, BASELINE) for p in all_apps()]
+    ref = max(base_results, key=lambda r: r.total_flit_hops / max(r.cycles, 1))
+    model.calibrate_dyn_scale(ref, BASELINE)
+
+    rows = []
+    statics, dynamics, totals, energies, ppw, ppe = [], [], [], [], [], []
+    for prof, base in zip(all_apps(), base_results):
+        res = runner.run(prof, BOOST)
+        b_base = model.breakdown(base, BASELINE)
+        b_new = model.breakdown(res, BOOST)
+        norm = b_new.normalized_to(b_base)
+        rows.append({"app": prof.name, **{k: v for k, v in norm.items() if k != "design"}})
+        statics.append(norm["static"])
+        dynamics.append(norm["dynamic"])
+        totals.append(norm["total"])
+        energies.append(norm["energy"])
+        ppw.append(model.perf_per_watt(res, BOOST) / model.perf_per_watt(base, BASELINE))
+        ppe.append(
+            model.perf_per_energy(res, BOOST) / model.perf_per_energy(base, BASELINE)
+        )
+
+    area = l1_level_area_report(
+        gpu.total_l1_bytes, gpu.num_cores, BOOST.num_dcl1
+    )
+    base_inv = design_inventory(BASELINE, gpu.num_cores, gpu.num_l2_slices)
+    boost_inv = design_inventory(BOOST, gpu.num_cores, gpu.num_l2_slices)
+    noc_area_norm = DsentModel.area_units(boost_inv) / DsentModel.area_units(base_inv)
+
+    return ExperimentReport(
+        experiment="fig18",
+        title="NoC power breakdown and area of Sh40+C10+Boost (normalized)",
+        columns=["app", "static", "dynamic", "total", "energy"],
+        rows=rows,
+        summary={
+            "static_norm": amean(statics),
+            "dynamic_norm": amean(dynamics),
+            "total_norm": amean(totals),
+            "energy_norm": geomean(energies),
+            "perf_per_watt_gain": geomean(ppw),
+            "perf_per_energy_gain": geomean(ppe),
+            "queue_overhead": area["queue_overhead_fraction"],
+            "cache_area_saving": area["cache_savings_fraction"],
+            "noc_area_norm": noc_area_norm,
+        },
+        paper=PAPER,
+    )

@@ -1,0 +1,81 @@
+"""Registry of all experiments, for the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    ext_bypass,
+    ext_capacity,
+    ext_latency_dist,
+    ext_queues,
+    fig01_motivation,
+    fig02_utilization,
+    fig04_private,
+    fig06_private_area_power,
+    fig08_sh40_sensitive,
+    fig09_sh40_insensitive,
+    fig11_clustered,
+    fig12_clustered_area_power,
+    fig13_boost,
+    fig14_overall,
+    fig15_scurve,
+    fig16_missrate,
+    fig17_utilization,
+    fig18_energy_area,
+    fig19_sensitivity,
+    latency_analysis,
+    robustness,
+    sec2_single_l1,
+    sens_boosted_baseline,
+    sens_cta_scheduler,
+    sens_system_size,
+    table1_noc,
+)
+from repro.experiments.base import ExperimentReport, Runner
+
+#: Experiment id -> run callable.  Ordered as in the paper.
+EXPERIMENTS: Dict[str, Callable[[Runner], ExperimentReport]] = {
+    "fig01": fig01_motivation.run,
+    "fig02": fig02_utilization.run,
+    "sec2c": sec2_single_l1.run,
+    "tab1": table1_noc.run,
+    "fig04": fig04_private.run,
+    "fig06": fig06_private_area_power.run,
+    "fig08": fig08_sh40_sensitive.run,
+    "fig09": fig09_sh40_insensitive.run,
+    "fig11": fig11_clustered.run,
+    "fig12": fig12_clustered_area_power.run,
+    "fig13": fig13_boost.run,
+    "fig14": fig14_overall.run,
+    "fig15": fig15_scurve.run,
+    "fig16": fig16_missrate.run,
+    "fig17": fig17_utilization.run,
+    "fig18": fig18_energy_area.run,
+    "fig19": fig19_sensitivity.run,
+    "sens-cta": sens_cta_scheduler.run,
+    "sens-size": sens_system_size.run,
+    "sens-base": sens_boosted_baseline.run,
+    "latency": latency_analysis.run,
+    "ablations": ablations.run,
+    "ext-bypass": ext_bypass.run,
+    "ext-capacity": ext_capacity.run,
+    "ext-latency-dist": ext_latency_dist.run,
+    "ext-queues": ext_queues.run,
+    "robustness": robustness.run,
+}
+
+#: Experiments that run no simulations (pure analytical models).
+ANALYTICAL = frozenset({"tab1", "fig06", "fig12"})
+
+
+def run_experiment(experiment_id: str, runner: Runner) -> ExperimentReport:
+    """Run one experiment by id."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(runner)

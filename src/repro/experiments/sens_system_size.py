@@ -1,0 +1,57 @@
+"""Section VIII-A — system-size scalability.
+
+A 120-core GPU with 60 DC-L1 nodes, 48 L2 slices and 24 memory channels
+running Sh60+C10+Boost; workloads grow with the machine (per-core work
+constant).
+
+Paper: +67% on the replication-sensitive applications and maintained
+performance on the insensitive ones — same trend as the 80-core system.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, ExperimentReport, Runner
+from repro.workloads.suite import REPLICATION_SENSITIVE, replication_insensitive_apps
+
+PAPER = {
+    "sensitive_speedup_120": 1.67,
+    "insensitive_speedup_120": 1.0,
+}
+
+SCALE_FACTOR = 1.5  # 80 -> 120 cores
+
+
+def run(runner: Runner) -> ExperimentReport:
+    gpu_big = runner.config.gpu.scaled_up(SCALE_FACTOR)
+    boost_big = DesignSpec.clustered(60, 10, boost=2.0)
+
+    def group(names):
+        vals = []
+        for name in names:
+            from repro.workloads.suite import get_app
+
+            prof = get_app(name).with_cores_scaled(SCALE_FACTOR)
+            base = runner.run(prof, BASELINE, gpu=gpu_big)
+            res = runner.run(prof, boost_big, gpu=gpu_big)
+            vals.append(res.speedup_vs(base))
+        return geomean(vals)
+
+    sens = group(REPLICATION_SENSITIVE)
+    insens = group([p.name for p in replication_insensitive_apps()])
+    rows = [
+        {"group": "replication-sensitive", "speedup": sens},
+        {"group": "replication-insensitive", "speedup": insens},
+    ]
+    return ExperimentReport(
+        experiment="sens-size",
+        title="Sh60+C10+Boost on a 120-core / 48-L2 / 24-channel system",
+        columns=["group", "speedup"],
+        rows=rows,
+        summary={
+            "sensitive_speedup_120": sens,
+            "insensitive_speedup_120": insens,
+        },
+        paper=PAPER,
+    )

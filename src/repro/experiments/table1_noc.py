@@ -1,0 +1,44 @@
+"""Table I — NoC configurations and peak L1 bandwidth of private DC-L1s.
+
+Purely analytical: for each PrY configuration, the NoC#1/NoC#2 crossbar
+shapes derived from the cluster geometry and the peak aggregate L1
+bandwidth (with its drop factor versus the baseline's per-core 128 B/cycle
+data ports).
+
+Paper: Pr80/Pr40/Pr20/Pr10 drop peak L1 bandwidth by 4x/8x/16x/32x.
+"""
+
+from __future__ import annotations
+
+from repro.core.peak_bw import table1_rows
+from repro.experiments.base import ExperimentReport, Runner
+
+PAPER = {
+    "pr80_drop": 4.0,
+    "pr40_drop": 8.0,
+    "pr20_drop": 16.0,
+    "pr10_drop": 32.0,
+}
+
+
+def run(runner: Runner) -> ExperimentReport:
+    gpu = runner.config.gpu
+    rows = table1_rows(
+        num_cores=gpu.num_cores,
+        num_l2=gpu.num_l2_slices,
+        line_bytes=gpu.line_bytes,
+        flit_bytes=gpu.flit_bytes,
+    )
+    drops = {
+        r["config"].lower() + "_drop": float(r["drop"].rstrip("x"))
+        for r in rows
+        if r["drop"] != "-"
+    }
+    return ExperimentReport(
+        experiment="tab1",
+        title="NoC size and peak L1 bandwidth under private DC-L1 configurations",
+        columns=["config", "noc1", "noc2", "peak_bw", "drop"],
+        rows=rows,
+        summary=drops,
+        paper=PAPER,
+    )

@@ -1,0 +1,14 @@
+"""Core-side GPU model: memory requests, wavefront contexts, CTA scheduling."""
+
+from repro.gpu.request import AccessKind, MemoryRequest
+from repro.gpu.wavefront import Wavefront
+from repro.gpu.cta import CTAScheduler, DistributedCTAScheduler, RoundRobinCTAScheduler
+
+__all__ = [
+    "AccessKind",
+    "MemoryRequest",
+    "Wavefront",
+    "CTAScheduler",
+    "RoundRobinCTAScheduler",
+    "DistributedCTAScheduler",
+]

@@ -1,0 +1,56 @@
+"""GPU core state.
+
+In the baseline, a core owns its private L1 (tightly coupled).  In DC-L1
+designs the core is the paper's *Lite Core*: identical, minus the L1 data
+cache and its MSHRs — memory instructions are injected into NoC#1 instead.
+Either way, the core-side state is the same: a set of wavefront slots, a
+queue of CTAs waiting for a free slot, an issue port admitting one memory
+instruction per cycle, and instruction accounting for IPC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.gpu.wavefront import Wavefront
+from repro.sim.resources import Server
+
+
+class CoreState:
+    """Per-core execution state (slots, CTA queue, issue port, counters)."""
+
+    def __init__(self, core_id: int, wavefront_slots: int, compute_gap: float, mlp: int = 1):
+        if wavefront_slots <= 0:
+            raise ValueError("a core needs at least one wavefront slot")
+        self.core_id = core_id
+        self.compute_gap = compute_gap
+        self.slots: List[Wavefront] = [
+            Wavefront(core_id, s, None, compute_gap, mlp) for s in range(wavefront_slots)
+        ]
+        self.cta_queue: deque = deque()
+        # One memory instruction may enter the pipeline per cycle.
+        self.issue_port = Server(f"core{core_id}.issue", 1.0, 0.0)
+        self.instructions = 0
+        self.mem_instructions = 0
+        self.active_wavefronts = 0
+        self.finish_time = 0.0
+
+    def assign_ctas(self, queue: deque) -> None:
+        self.cta_queue = queue
+
+    def next_stream(self, streams) -> Optional[object]:
+        """Pop the next CTA stream for this core, if any."""
+        if self.cta_queue:
+            return streams[self.cta_queue.popleft()]
+        return None
+
+    @property
+    def idle(self) -> bool:
+        """True when every slot is drained and no CTAs wait."""
+        return self.active_wavefronts == 0 and not self.cta_queue
+
+    def count_access(self, compute_instructions: float) -> None:
+        """Account one memory instruction plus its trailing ALU work."""
+        self.mem_instructions += 1
+        self.instructions += 1 + int(compute_instructions)

@@ -1,0 +1,7 @@
+"""Memory-side substrate: address interleaving, L2 slices, memory controllers."""
+
+from repro.mem.dram import MemoryController
+from repro.mem.interleave import AddressMap
+from repro.mem.l2 import L2Slice
+
+__all__ = ["AddressMap", "L2Slice", "MemoryController"]

@@ -1,0 +1,59 @@
+"""Memory controllers and DRAM channels.
+
+The paper's baseline has 16 GDDR5 memory controllers with FR-FCFS
+scheduling.  For the phenomena this paper studies (how much traffic the L1
+level filters before it reaches the pin bandwidth), what matters is each
+channel's sustainable bandwidth and loaded latency, not per-bank timing.
+We therefore model a channel as a small set of parallel *bank groups*, each
+a reservation server: a line fill occupies one bank group for
+``service_cycles`` and completes after ``latency_cycles``.  Row-locality
+effects of FR-FCFS are folded into the effective service time.
+
+Accesses within a channel are spread across its bank groups by line index,
+which reproduces bank-level parallelism and makes severely camped address
+patterns (partition camping, Section V-B) hurt at the memory side exactly
+as they do in hardware.
+"""
+
+from __future__ import annotations
+
+from repro.sim.resources import Server
+
+
+class MemoryController:
+    """One memory channel with ``num_bank_groups`` parallel bank groups."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        service_cycles: float,
+        latency_cycles: float,
+        num_bank_groups: int = 4,
+    ):
+        if num_bank_groups <= 0:
+            raise ValueError("need at least one bank group")
+        self.channel_id = channel_id
+        self.num_bank_groups = num_bank_groups
+        self.banks = [
+            Server(f"MC{channel_id}.bg{i}", service_cycles, latency_cycles)
+            for i in range(num_bank_groups)
+        ]
+        self.accesses = 0
+
+    def bank_of(self, line: int) -> Server:
+        """Bank group serving ``line`` within this channel."""
+        return self.banks[line % self.num_bank_groups]
+
+    def access(self, now: float, line: int, size: float = 1.0) -> float:
+        """Reserve the owning bank group; returns completion time."""
+        self.accesses += 1
+        return self.bank_of(line).reserve(now, size)
+
+    def busy_cycles(self) -> float:
+        return sum(b.busy_cycles for b in self.banks)
+
+    def utilization(self, total_cycles: float) -> float:
+        """Mean bank-group utilization of this channel."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.busy_cycles() / (total_cycles * self.num_bank_groups)

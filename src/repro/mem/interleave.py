@@ -1,0 +1,67 @@
+"""Address interleaving: byte address → cache line → L2 slice → memory channel.
+
+The baseline GPU (Table II) interleaves the global linear address space
+across the address-sliced L2 banks.  We interleave at cache-line
+granularity (128 B) rather than the paper's 256 B chunks: home-DC-L1
+selection (Section V-A) also operates at line granularity, and using one
+granularity for both keeps the clustered design's NoC#2 invariant — *a
+DC-L1 that homes address range r talks only to the L2 slices serving
+range r* (Figure 10) — exact instead of approximate.  This substitution is
+recorded in DESIGN.md; it does not change any of the contention phenomena
+(camping, many-to-few pressure) the paper studies.
+"""
+
+from __future__ import annotations
+
+
+class AddressMap:
+    """Resolves the memory-side route of an address.
+
+    Parameters
+    ----------
+    line_bytes:
+        Cache line size (power of two).
+    num_l2_slices:
+        Number of address-sliced L2 banks.
+    num_channels:
+        Number of memory controllers; must divide ``num_l2_slices``.
+    """
+
+    def __init__(self, line_bytes: int, num_l2_slices: int, num_channels: int):
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes {line_bytes} must be a power of two")
+        if num_l2_slices <= 0 or num_channels <= 0:
+            raise ValueError("slice and channel counts must be positive")
+        if num_l2_slices % num_channels != 0:
+            raise ValueError(
+                f"{num_channels} channels must evenly divide {num_l2_slices} L2 slices"
+            )
+        self.line_bytes = line_bytes
+        self.line_bits = line_bytes.bit_length() - 1
+        self.num_l2_slices = num_l2_slices
+        self.num_channels = num_channels
+        self._slices_per_channel = num_l2_slices // num_channels
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line index of a byte address."""
+        return addr >> self.line_bits
+
+    def addr_of_line(self, line: int) -> int:
+        """First byte address of a line (inverse of :meth:`line_of`)."""
+        return line << self.line_bits
+
+    def l2_slice_of_line(self, line: int) -> int:
+        """L2 slice serving ``line`` (line-interleaved)."""
+        return line % self.num_l2_slices
+
+    def l2_slice_of(self, addr: int) -> int:
+        """L2 slice serving a byte address."""
+        return (addr >> self.line_bits) % self.num_l2_slices
+
+    def channel_of_slice(self, l2_slice: int) -> int:
+        """Memory controller behind an L2 slice (contiguous grouping)."""
+        return l2_slice // self._slices_per_channel
+
+    def channel_of(self, addr: int) -> int:
+        """Memory controller serving a byte address."""
+        return self.channel_of_slice(self.l2_slice_of(addr))

@@ -1,0 +1,108 @@
+"""L2 slice: a banked, address-sliced shared cache segment.
+
+Each slice couples a functional :class:`SetAssociativeCache` with an
+:class:`MSHRFile`; bank timing (occupancy + access latency) is modelled by
+the slice's reservation server inside :mod:`repro.sim.system`.  The L2 is
+shared by construction — a line has exactly one serving slice — so no
+replication directory is needed at this level.
+
+Writes at the L2 are allocate-on-write (GPGPU-Sim v3's L2 default) with
+write-back: stores mark lines dirty, and evicting a dirty line queues a
+write-back whose DRAM bandwidth the system charges to the owning memory
+channel (the traffic is fire-and-forget — nothing waits on it — but it
+competes with fills for bank-group occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.mshr import MSHRFile
+
+
+class L2Slice:
+    """One address-sliced L2 bank."""
+
+    def __init__(
+        self,
+        slice_id: int,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int,
+        mshr_entries: int = 64,
+        policy: str = "lru",
+        perfect: bool = False,
+        num_slices: int = 1,
+    ):
+        self.slice_id = slice_id
+        self.cache = SetAssociativeCache(
+            name=f"L2[{slice_id}]",
+            size_bytes=size_bytes,
+            assoc=assoc,
+            line_bytes=line_bytes,
+            policy=policy,
+            cache_id=slice_id,
+            directory=None,
+            perfect=perfect,
+            index_divisor=num_slices,
+        )
+        self.mshr = MSHRFile(mshr_entries)
+        self._dirty: set = set()
+        self._pending_writebacks: List[int] = []
+        self.writebacks = 0
+
+    # -- functional accesses ---------------------------------------------
+
+    def access_load(self, line: int) -> bool:
+        """Probe the slice for a load; True on hit."""
+        return self.cache.access_load(line)
+
+    def access_store(self, line: int) -> bool:
+        """Allocate-on-write, write-back store.
+
+        Returns True when the line was already resident (write hit).  Any
+        dirty victim displaced by the allocation is queued for write-back
+        (see :meth:`drain_writebacks`).
+        """
+        if self.cache.perfect:
+            self.cache.stats.store_hits += 1
+            return True
+        hit = self.cache.contains(line)
+        if hit:
+            self.cache.stats.store_hits += 1
+            # refresh recency
+            s = self.cache._sets[self.cache.set_index(line)]
+            s.touch(line)
+        else:
+            self.cache.stats.store_misses += 1
+            self._install_tracking_dirty(line)
+        self._dirty.add(line)
+        return hit
+
+    def install(self, line: int):
+        """Install a fill returning from DRAM; returns the victim or None."""
+        return self._install_tracking_dirty(line)
+
+    def _install_tracking_dirty(self, line: int):
+        victim = self.cache.install(line)
+        if victim is not None and victim in self._dirty:
+            self._dirty.discard(victim)
+            self._pending_writebacks.append(victim)
+            self.writebacks += 1
+        return victim
+
+    # -- write-back plumbing ------------------------------------------------
+
+    def is_dirty(self, line: int) -> bool:
+        return line in self._dirty
+
+    def drain_writebacks(self) -> List[int]:
+        """Take the dirty victims queued since the last drain."""
+        out = self._pending_writebacks
+        self._pending_writebacks = []
+        return out
+
+    @property
+    def stats(self):
+        return self.cache.stats

@@ -1,0 +1,174 @@
+"""DSENT-like analytical NoC area / power / frequency model.
+
+The paper uses DSENT [19] at 22 nm to compare crossbar configurations.
+Only *relative* trends feed its argument:
+
+* small crossbars are smaller and cooler than one big crossbar
+  (Figures 6 and 12),
+* small crossbars clock higher (Figure 13b) — the enabler for ``+Boost``,
+* per-router buffer overheads mean many tiny routers are not free
+  (the Pr40 static-power discussion in Section IV-B).
+
+We reproduce those trends with a three-component analytical model whose
+constants were calibrated (least squares) against every relative number
+the paper reports:
+
+* **area** ``= A*(n_in*n_out + 4.33*(n_in+n_out))`` per crossbar — matches
+  the paper's Pr40 −28%, Pr20 −54%, Pr10 −67%, Sh40 +69%, Sh40+C10 −50%,
+  C5/C20 −45% to within ~2 points;
+* **static power** ``= D*(n_in*n_out)^1.5 + E*n_in`` per crossbar (input
+  buffers dominate; the crossbar term grows superlinearly in radix) plus a
+  small per-direct-link constant — matches Pr80 +1%, Pr40 −4% (buffers of
+  40 extra routers offset the smaller switches, exactly the paper's
+  explanation), Sh40 +57→+61%, C5 −15%, C10 −16%, C20 −14%;
+* **max frequency** ``∝ (n_in*n_out)^-1/4`` — an 8x4 crossbar clocks well
+  above 2x the baseline NoC frequency while 80x32 / 80x40 cannot reach
+  2x700 MHz, matching Figure 13b and the boosted-baseline discussion.
+
+Dynamic energy is charged per flit-hop, proportional to flit width and
+link length (short 3.3 mm cluster links vs long 12.3 mm NoC#2 links, the
+paper's Section VIII estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.designs import DesignKind, DesignSpec
+
+
+@dataclass(frozen=True)
+class CrossbarShape:
+    """``count`` crossbars of ``n_in x n_out`` with ``link_mm`` links."""
+
+    count: int
+    n_in: int
+    n_out: int
+    link_mm: float = 1.0
+
+    @property
+    def is_direct_link(self) -> bool:
+        return self.n_in == 1 and self.n_out == 1
+
+
+class DsentModel:
+    """Analytical crossbar area/power/frequency model (22 nm calibration)."""
+
+    # Area model (relative units; calibrated, see module docstring).
+    AREA_PRODUCT = 1.0
+    AREA_PORT = 4.33
+    # Absolute scale: baseline 80x32 crossbar network ~= 20 mm^2 at 22 nm.
+    AREA_MM2_PER_UNIT = 20.0 / (80 * 32 + 4.33 * (80 + 32))
+    AREA_LINK_UNIT = 3.0  # one 32B direct link, relative units
+
+    # Static power model (relative units; calibrated).
+    STATIC_PRODUCT = 1.32879e-3  # * (n_in*n_out)^1.5  (crossbar + allocator)
+    STATIC_EXP = 1.5
+    STATIC_BUFFER = 2.58127  # * n_in                  (input buffers)
+    STATIC_LINK = 0.05  # per 1x1 direct link
+    # Absolute scale: baseline NoC static power ~= 2 W.
+    STATIC_W_PER_UNIT = 2.0 / (1.32879e-3 * (80 * 32) ** 1.5 + 2.58127 * 80)
+
+    # Max frequency model: f = F_REF * (R_REF / sqrt(n_in*n_out))^0.5.
+    FREQ_REF_GHZ = 0.8  # an 80x32 crossbar tops out just above 700 MHz
+    RADIX_REF = (80 * 32) ** 0.5
+
+    # Dynamic energy: joules per flit-hop per mm of link, relative scale
+    # chosen so the baseline's dynamic power is ~0.64x its static power
+    # (back-solved from Figure 18a's -16% static / +20% dynamic / -2% total).
+    DYN_ENERGY_PER_FLIT_MM = 1.0
+
+    # -- per-crossbar primitives ------------------------------------------------
+
+    @classmethod
+    def crossbar_area_units(cls, n_in: int, n_out: int) -> float:
+        if n_in == 1 and n_out == 1:
+            return cls.AREA_LINK_UNIT
+        return cls.AREA_PRODUCT * n_in * n_out + cls.AREA_PORT * (n_in + n_out)
+
+    @classmethod
+    def crossbar_static_units(cls, n_in: int, n_out: int) -> float:
+        if n_in == 1 and n_out == 1:
+            return cls.STATIC_LINK
+        return (
+            cls.STATIC_PRODUCT * (n_in * n_out) ** cls.STATIC_EXP
+            + cls.STATIC_BUFFER * n_in
+        )
+
+    @classmethod
+    def max_frequency_ghz(cls, n_in: int, n_out: int) -> float:
+        """Maximum operating frequency of an ``n_in x n_out`` crossbar."""
+        radix = (n_in * n_out) ** 0.5
+        return cls.FREQ_REF_GHZ * (cls.RADIX_REF / radix) ** 0.5
+
+    @classmethod
+    def supports_frequency(cls, n_in: int, n_out: int, ghz: float) -> bool:
+        """Can this crossbar be clocked at ``ghz``?"""
+        return cls.max_frequency_ghz(n_in, n_out) >= ghz
+
+    # -- aggregate over an inventory ---------------------------------------------
+
+    @classmethod
+    def area_units(cls, shapes: Iterable[CrossbarShape]) -> float:
+        return sum(s.count * cls.crossbar_area_units(s.n_in, s.n_out) for s in shapes)
+
+    @classmethod
+    def area_mm2(cls, shapes: Iterable[CrossbarShape]) -> float:
+        return cls.area_units(shapes) * cls.AREA_MM2_PER_UNIT
+
+    @classmethod
+    def static_units(cls, shapes: Iterable[CrossbarShape]) -> float:
+        return sum(s.count * cls.crossbar_static_units(s.n_in, s.n_out) for s in shapes)
+
+    @classmethod
+    def static_power_w(cls, shapes: Iterable[CrossbarShape]) -> float:
+        return cls.static_units(shapes) * cls.STATIC_W_PER_UNIT
+
+    @classmethod
+    def dynamic_energy_units(cls, flit_hops_by_link_mm: Sequence[Tuple[int, float]]) -> float:
+        """Energy for ``(flit_hops, link_mm)`` contributions."""
+        return sum(
+            hops * mm * cls.DYN_ENERGY_PER_FLIT_MM for hops, mm in flit_hops_by_link_mm
+        )
+
+
+def design_inventory(
+    spec: DesignSpec,
+    num_cores: int,
+    num_l2: int,
+    short_link_mm: float = 3.3,
+    long_link_mm: float = 12.3,
+    cdxbar_group_size: int = 8,
+    cdxbar_columns: int = 8,
+) -> List[CrossbarShape]:
+    """Crossbar inventory of a design point (one logical network; the
+    request/reply pair doubles everything uniformly and cancels in the
+    normalized comparisons the paper reports)."""
+    if spec.kind == DesignKind.BASELINE:
+        return [CrossbarShape(1, num_cores, num_l2, long_link_mm)]
+    if spec.kind == DesignKind.CDXBAR:
+        g, k = cdxbar_group_size, cdxbar_columns
+        return [
+            CrossbarShape(num_cores // g, g, k, short_link_mm),
+            CrossbarShape(k, num_cores // g, num_l2 // k, long_link_mm),
+        ]
+    geo = ClusterGeometry.from_design(spec, num_cores, num_l2)
+    shapes = [
+        CrossbarShape(cnt, i, o, short_link_mm) for cnt, i, o in geo.noc1_shapes()
+    ]
+    shapes += [
+        CrossbarShape(cnt, i, o, long_link_mm) for cnt, i, o in geo.noc2_shapes()
+    ]
+    return shapes
+
+
+def noc_area_mm2(spec: DesignSpec, num_cores: int = 80, num_l2: int = 32) -> float:
+    """Total NoC crossbar area of a design point."""
+    return DsentModel.area_mm2(design_inventory(spec, num_cores, num_l2))
+
+
+def noc_static_power_w(spec: DesignSpec, num_cores: int = 80, num_l2: int = 32) -> float:
+    """Total NoC static power of a design point."""
+    return DsentModel.static_power_w(design_inventory(spec, num_cores, num_l2))

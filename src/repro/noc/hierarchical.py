@@ -1,0 +1,62 @@
+"""Hierarchical two-stage crossbar (CDXBar) geometry.
+
+The Figure 19a comparator models Zhao et al.'s two-stage hierarchical
+crossbar: cores keep their private L1s, but the monolithic 80x32 NoC is
+replaced by small first-stage crossbars (one per group of neighbouring
+cores) feeding second-stage crossbars (one per L2 column).  Its design
+goal is NoC scalability/area, *not* performance — it does nothing about
+data replication — which is exactly the contrast the paper draws.
+
+The timing lives in :class:`repro.noc.topology.NoCTopology`; this module
+captures the geometry and its DSENT inventory so the experiment code and
+the area/power analyses agree on one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.noc.dsent import CrossbarShape
+
+
+@dataclass(frozen=True)
+class CDXBarGeometry:
+    """Two-stage hierarchical crossbar layout."""
+
+    num_cores: int = 80
+    num_l2: int = 32
+    group_size: int = 8  # cores per first-stage crossbar
+    columns: int = 8  # second-stage crossbars (L2 columns)
+
+    def __post_init__(self):
+        if self.num_cores % self.group_size:
+            raise ValueError("group size must divide the core count")
+        if self.num_l2 % self.columns:
+            raise ValueError("column count must divide the L2 slice count")
+
+    @property
+    def num_groups(self) -> int:
+        return self.num_cores // self.group_size
+
+    @property
+    def l2_per_column(self) -> int:
+        return self.num_l2 // self.columns
+
+    def stage1_shape(self) -> CrossbarShape:
+        """First stage: one ``group_size x columns`` crossbar per group."""
+        return CrossbarShape(self.num_groups, self.group_size, self.columns, 3.3)
+
+    def stage2_shape(self) -> CrossbarShape:
+        """Second stage: one ``num_groups x l2_per_column`` crossbar per column."""
+        return CrossbarShape(self.columns, self.num_groups, self.l2_per_column, 12.3)
+
+    def inventory(self) -> List[CrossbarShape]:
+        return [self.stage1_shape(), self.stage2_shape()]
+
+    def __str__(self) -> str:
+        s1, s2 = self.stage1_shape(), self.stage2_shape()
+        return (
+            f"CDXBar: {s1.count}x({s1.n_in}x{s1.n_out}) -> "
+            f"{s2.count}x({s2.n_in}x{s2.n_out})"
+        )

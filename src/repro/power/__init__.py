@@ -1,0 +1,12 @@
+"""Energy and area accounting: CACTI-like cache area, NoC power/energy."""
+
+from repro.power.cacti import cache_area_mm2, dcl1_node_queue_bytes, l1_level_area_report
+from repro.power.energy import EnergyModel, NoCPowerBreakdown
+
+__all__ = [
+    "cache_area_mm2",
+    "dcl1_node_queue_bytes",
+    "l1_level_area_report",
+    "EnergyModel",
+    "NoCPowerBreakdown",
+]

@@ -1,0 +1,9 @@
+"""Timing-simulation substrate: event engine, reservation servers, system wiring."""
+
+from repro.sim.config import GPUConfig, SimConfig
+from repro.sim.engine import Engine
+from repro.sim.resources import Server
+from repro.sim.results import SimResult
+from repro.sim.system import GPUSystem, simulate
+
+__all__ = ["GPUConfig", "SimConfig", "Engine", "Server", "SimResult", "GPUSystem", "simulate"]

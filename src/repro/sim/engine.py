@@ -1,0 +1,75 @@
+"""Discrete-event engine.
+
+A deliberately small event loop: a binary heap of ``(time, seq, callback,
+payload)`` tuples.  The monotonically increasing ``seq`` breaks timestamp
+ties deterministically (FIFO among simultaneous events), which keeps every
+simulation bit-reproducible for a given workload seed.
+
+The engine knows nothing about GPUs; :mod:`repro.sim.system` schedules
+request-lifecycle callbacks onto it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class Engine:
+    """Minimal deterministic discrete-event simulator."""
+
+    def __init__(self, max_events: int = 500_000_000):
+        self._heap: list = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+        self.max_events = max_events
+
+    def schedule(self, time: float, callback: Callable[[Any], None], payload: Any = None) -> None:
+        """Schedule ``callback(payload)`` to run at simulated ``time``.
+
+        Scheduling in the past is a modelling bug and raises immediately.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule event at {time} before now={self.now}")
+        heapq.heappush(self._heap, (time, self._seq, callback, payload))
+        self._seq += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[Any], None], payload: Any = None) -> None:
+        """Schedule ``callback(payload)`` to run ``delay`` cycles from now."""
+        self.schedule(self.now + delay, callback, payload)
+
+    def empty(self) -> bool:
+        """True when no events remain."""
+        return not self._heap
+
+    def run(self) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, callback, payload = pop(heap)
+            self.now = time
+            callback(payload)
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({self.max_events}); "
+                    "likely a livelock in the request state machine"
+                )
+        return self.now
+
+    def run_until(self, deadline: float) -> float:
+        """Process events with timestamps <= ``deadline``; returns current time."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= deadline:
+            time, _seq, callback, payload = pop(heap)
+            self.now = time
+            callback(payload)
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise RuntimeError(f"event budget exceeded ({self.max_events})")
+        if self.now < deadline:
+            self.now = deadline
+        return self.now

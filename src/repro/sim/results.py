@@ -1,0 +1,137 @@
+"""Simulation results.
+
+A :class:`SimResult` captures everything the paper's figures consume:
+throughput (IPC), L1-level and L2 cache statistics, the replication
+metrics, port/link utilizations, NoC flit-hop counts (for dynamic energy),
+round-trip latency, and raw traffic counters.  Results are plain data —
+they can be compared, normalized and tabulated without re-running the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cache.cache import CacheStats
+
+
+@dataclass
+class SimResult:
+    """Outcome of one (application, design) simulation."""
+
+    app: str = ""
+    design: str = ""
+
+    # Throughput
+    cycles: float = 0.0
+    instructions: int = 0
+
+    # L1-level (private L1s or DC-L1s, aggregated)
+    l1: CacheStats = field(default_factory=CacheStats)
+    replication_ratio: float = 0.0
+    mean_replicas: float = 0.0
+
+    # L2 (aggregated over slices)
+    l2: CacheStats = field(default_factory=CacheStats)
+
+    # Utilizations (fractions of the run's cycles)
+    l1_port_util_max: float = 0.0
+    l1_port_util_mean: float = 0.0
+    core_reply_link_util_max: float = 0.0
+    dram_util_mean: float = 0.0
+
+    # Traffic
+    loads: int = 0
+    stores: int = 0
+    atomics: int = 0
+    bypasses: int = 0
+    dram_accesses: int = 0
+    dram_writebacks: int = 0
+    # (flit_hops, link_mm, frequency_multiplier) per logical NoC
+    noc_traffic: List[Tuple[int, float, float]] = field(default_factory=list)
+
+    # Latency
+    load_rtt_sum: float = 0.0
+    load_rtt_count: int = 0
+
+    # MSHR behaviour
+    mshr_primary: int = 0
+    mshr_secondary: int = 0
+    mshr_stalls: int = 0
+    # Finite-Q1 backpressure events (0 under the default infinite queues)
+    node_queue_stalls: int = 0
+    # Fills dropped by the streaming-bypass filter (0 unless l1_bypass)
+    bypassed_fills: int = 0
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (the paper's throughput metric)."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1.miss_rate
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate
+
+    @property
+    def load_rtt_mean(self) -> float:
+        """Mean round trip (issue → data back) of load requests."""
+        if self.load_rtt_count == 0:
+            return 0.0
+        return self.load_rtt_sum / self.load_rtt_count
+
+    @property
+    def total_requests(self) -> int:
+        return self.loads + self.stores + self.atomics + self.bypasses
+
+    @property
+    def total_flit_hops(self) -> int:
+        return sum(hops for hops, _mm, _f in self.noc_traffic)
+
+    def speedup_vs(self, baseline: "SimResult") -> float:
+        """IPC relative to a baseline run of the same application."""
+        if baseline.app and self.app and baseline.app != self.app:
+            raise ValueError(
+                f"speedup across different apps: {self.app} vs {baseline.app}"
+            )
+        if baseline.ipc == 0:
+            raise ZeroDivisionError("baseline IPC is zero")
+        return self.ipc / baseline.ipc
+
+    def miss_rate_vs(self, baseline: "SimResult") -> float:
+        """L1 miss rate normalized to a baseline run (Fig. 4b/8a/16)."""
+        if baseline.l1_miss_rate == 0:
+            return 1.0 if self.l1_miss_rate == 0 else float("inf")
+        return self.l1_miss_rate / baseline.l1_miss_rate
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for tabulation/serialization."""
+        return {
+            "app": self.app,
+            "design": self.design,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "l1_miss_rate": self.l1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "replication_ratio": self.replication_ratio,
+            "mean_replicas": self.mean_replicas,
+            "l1_port_util_max": self.l1_port_util_max,
+            "core_reply_link_util_max": self.core_reply_link_util_max,
+            "load_rtt_mean": self.load_rtt_mean,
+            "dram_accesses": self.dram_accesses,
+            "total_flit_hops": self.total_flit_hops,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.app} @ {self.design}] ipc={self.ipc:.3f} "
+            f"l1_miss={self.l1_miss_rate:.1%} repl={self.replication_ratio:.1%} "
+            f"cycles={self.cycles:.0f}"
+        )

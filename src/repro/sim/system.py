@@ -1,0 +1,598 @@
+"""Full-system wiring and the request lifecycle.
+
+:class:`GPUSystem` assembles one (workload, design, platform) triple into a
+runnable simulation: cores with wavefront slots, the L1 level (per-core
+private L1s or DC-L1 nodes, per the design), the two NoCs, L2 slices and
+memory controllers — then drives the request state machine of Section III:
+
+Baseline::
+
+    core issue → local L1 bank → hit? done : NoC#2 → L2 → (DRAM) → NoC#2 → fill
+
+DC-L1 designs::
+
+    core issue → NoC#1 → DC-L1 node (Q1, bank) → hit? NoC#1 reply
+                                               : NoC#2 → L2 → (DRAM) →
+                                                 NoC#2 → fill (Q4) → NoC#1 reply
+
+Stores are write-evict / no-write-allocate at the L1 level and always
+travel to L2 (with their data, plus the evicted line on a hit); their ACK
+returns over the reply networks but the issuing wavefront does not block
+on it.  Atomics and "non-L1" bypass traffic (instruction/texture/constant
+misses) skip the (DC-)L1 cache and are resolved at the L2/MC — in DC-L1
+designs they still pass *through* the home node (Q1→Q3), so they ride
+NoC#1 and NoC#2 exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Optional, Union
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.directory import ReplicationDirectory
+from repro.cache.mshr import MSHRFile
+from repro.core.clusters import ClusterGeometry
+from repro.core.designs import DesignKind, DesignSpec
+from repro.core.home import HomeMapper
+from repro.gpu.core import CoreState
+from repro.gpu.cta import make_scheduler
+from repro.gpu.request import AccessKind, MemoryRequest
+from repro.gpu.wavefront import Wavefront
+from repro.mem.dram import MemoryController
+from repro.mem.interleave import AddressMap
+from repro.mem.l2 import L2Slice
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.resources import Server
+from repro.sim.results import SimResult
+from repro.workloads.generator import Workload, generate_workload
+from repro.workloads.profile import AppProfile
+
+
+class GPUSystem:
+    """One runnable simulation instance (single-use: build, run, read)."""
+
+    def __init__(
+        self,
+        workload: Union[Workload, AppProfile],
+        spec: DesignSpec,
+        config: Optional[SimConfig] = None,
+    ):
+        self.cfg = config or SimConfig()
+        gpu = self.cfg.gpu
+        if isinstance(workload, AppProfile):
+            workload = generate_workload(workload, self.cfg.scale)
+        self.workload = workload
+        self.spec = spec
+        self.engine = Engine(max_events=self.cfg.max_events)
+        self.amap = AddressMap(gpu.line_bytes, gpu.num_l2_slices, gpu.num_channels)
+        self._line_flits = gpu.line_bytes // gpu.flit_bytes
+        self._req_flits = max(1, math.ceil(workload.profile.request_bytes / gpu.flit_bytes))
+        # Reply size on NoC#1: the requested data only (Section III), or the
+        # whole line under the wasteful-reply ablation.
+        self._noc1_reply_flits = (
+            self._line_flits if self.cfg.full_line_noc1_replies else self._req_flits
+        )
+
+        self.decoupled = spec.is_decoupled
+        if self.decoupled:
+            self.geometry = ClusterGeometry.from_design(spec, gpu.num_cores, gpu.num_l2_slices)
+            self.home = HomeMapper(
+                self.geometry,
+                strategy=self.cfg.home_strategy,
+                bit_shift=self.cfg.home_bit_shift,
+            )
+        else:
+            self.geometry = None
+            self.home = None
+
+        self._build_l1_level()
+        self._build_topology()
+        self._build_l2_and_memory()
+        self._build_cores()
+
+        self.outstanding = 0
+        self.result = SimResult(app=workload.name, design=spec.label or str(spec))
+        self._ran = False
+
+        # Optional credit-based Q1 backpressure (Figure 3's node queues).
+        depth = self.cfg.dcl1_queue_depth
+        if self.decoupled and depth is not None:
+            if depth < 1:
+                raise ValueError("dcl1_queue_depth must be >= 1")
+            self._node_credits = [depth] * self.geometry.num_dcl1
+            self._node_waiters = [deque() for _ in range(self.geometry.num_dcl1)]
+        else:
+            self._node_credits = None
+            self._node_waiters = None
+
+    # ------------------------------------------------------------------ build
+
+    def _build_l1_level(self) -> None:
+        gpu, spec = self.cfg.gpu, self.spec
+        self.l1_directory = ReplicationDirectory()
+        if self.decoupled:
+            count = self.geometry.num_dcl1
+            size = gpu.dcl1_size_bytes(count, spec.l1_size_mult)
+            if spec.kind == DesignKind.SINGLE_L1:
+                # Section II-A's idealization keeps the baseline latency and
+                # the aggregate bank bandwidth.
+                latency = gpu.l1_latency
+                bank_service = 1.0 / gpu.num_cores
+            else:
+                latency = gpu.l1_level_latency(size)
+                bank_service = 1.0
+            mshr_entries = gpu.l1_mshr_entries * max(1, gpu.num_cores // count)
+            index_divisor = self.geometry.dcl1_per_cluster
+        else:
+            count = gpu.num_cores
+            size = int(gpu.l1_size_bytes * spec.l1_size_mult)
+            size = max(gpu.l1_assoc * gpu.line_bytes, size)
+            latency = gpu.l1_level_latency(size)
+            bank_service = 1.0
+            mshr_entries = gpu.l1_mshr_entries
+            index_divisor = 1
+        if self.cfg.l1_latency_override is not None:
+            latency = self.cfg.l1_latency_override
+        self.l1_caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(
+                name=f"L1[{i}]",
+                size_bytes=size,
+                assoc=gpu.l1_assoc,
+                line_bytes=gpu.line_bytes,
+                policy=self.cfg.l1_policy,
+                cache_id=i,
+                directory=self.l1_directory,
+                perfect=spec.perfect_l1,
+                index_divisor=index_divisor,
+            )
+            for i in range(count)
+        ]
+        self.l1_banks: List[Server] = [
+            Server(f"L1bank[{i}]", bank_service, latency) for i in range(count)
+        ]
+        self.l1_mshrs: List[MSHRFile] = [MSHRFile(mshr_entries) for _ in range(count)]
+        if self.cfg.l1_bypass:
+            from repro.cache.bypass import StreamingBypassFilter
+
+            self.l1_filters = [StreamingBypassFilter() for _ in range(count)]
+        else:
+            self.l1_filters = None
+
+    def _build_topology(self) -> None:
+        from repro.noc.topology import NoCTopology
+
+        gpu = self.cfg.gpu
+        self.topo = NoCTopology(
+            self.spec,
+            gpu.num_cores,
+            gpu.num_l2_slices,
+            gpu.noc_cycles_per_flit,
+            gpu.noc_latency,
+            geometry=self.geometry,
+            cdxbar_group_size=gpu.cdxbar_group_size,
+            cdxbar_columns=gpu.cdxbar_columns,
+            short_link_mm=gpu.short_link_mm,
+            long_link_mm=gpu.long_link_mm,
+        )
+
+    def _build_l2_and_memory(self) -> None:
+        gpu = self.cfg.gpu
+        self.l2_slices = [
+            L2Slice(
+                s,
+                gpu.l2_slice_bytes,
+                gpu.l2_assoc,
+                gpu.line_bytes,
+                mshr_entries=gpu.l2_mshr_entries,
+                policy=self.cfg.l2_policy,
+                num_slices=gpu.num_l2_slices,
+            )
+            for s in range(gpu.num_l2_slices)
+        ]
+        self.l2_banks = [
+            Server(f"L2bank[{s}]", gpu.l2_service, gpu.l2_latency)
+            for s in range(gpu.num_l2_slices)
+        ]
+        self.mcs = [
+            MemoryController(c, gpu.dram_service, gpu.dram_latency, gpu.dram_bank_groups)
+            for c in range(gpu.num_channels)
+        ]
+
+    def _build_cores(self) -> None:
+        gpu = self.cfg.gpu
+        prof = self.workload.profile
+        self.cores = [
+            CoreState(c, prof.wavefront_slots, prof.compute_gap, prof.mlp)
+            for c in range(gpu.num_cores)
+        ]
+        scheduler = make_scheduler(self.cfg.cta_scheduler)
+        weights = self.workload.core_weights(gpu.num_cores)
+        queues = scheduler.assign(self.workload.num_ctas, gpu.num_cores, weights)
+        for core, queue in zip(self.cores, queues):
+            core.assign_ctas(queue)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> SimResult:
+        """Execute the simulation to completion and return its result."""
+        if self._ran:
+            raise RuntimeError("GPUSystem instances are single-use; build a new one")
+        self._ran = True
+        for core in self.cores:
+            for wf in core.slots:
+                stream = core.next_stream(self.workload.streams)
+                if stream is not None:
+                    wf.bind(stream)
+                    core.active_wavefronts += 1
+                    self.engine.schedule(0.0, self._wf_issue, wf)
+        self.engine.run()
+        if self.outstanding != 0:
+            raise RuntimeError(
+                f"simulation drained with {self.outstanding} requests outstanding"
+            )
+        self._collect()
+        return self.result
+
+    # -------------------------------------------------------- wavefront side
+
+    def _schedule_issue(self, wf: Wavefront, t: float) -> None:
+        """Arrange for ``wf`` to attempt its next issue at ``t`` (idempotent)."""
+        if not wf.issue_pending:
+            wf.issue_pending = True
+            self.engine.schedule(t, self._wf_issue, wf)
+
+    def _wf_issue(self, wf: Wavefront) -> None:
+        wf.issue_pending = False
+        access = wf.next_access()
+        if access is None:
+            # Stream exhausted: refill once the last reply lands.
+            if wf.outstanding == 0:
+                self._wf_refill(wf)
+            return
+        line, kind = access
+        core = self.cores[wf.core_id]
+        core.count_access(wf.compute_gap)
+        req = MemoryRequest(
+            self.amap.addr_of_line(line), kind, self.workload.profile.request_bytes,
+            wf.core_id,
+        )
+        req.line = line
+        req.l2_id = self.amap.l2_slice_of_line(line)
+        req.mc_id = self.amap.channel_of_slice(req.l2_id)
+        req.wavefront = wf
+        # The core's single issue pipeline carries the memory instruction
+        # plus this wavefront's trailing ALU instructions, so one memory
+        # access occupies it for 1 + compute_gap cycles — this is what
+        # bounds per-core L1 demand the way a real SIMT front-end does.
+        t = core.issue_port.reserve(self.engine.now, 1.0 + wf.compute_gap)
+        req.issue_time = t
+        self.outstanding += 1
+        if kind == AccessKind.LOAD:
+            self.result.loads += 1
+        elif kind == AccessKind.STORE:
+            self.result.stores += 1
+        elif kind == AccessKind.ATOMIC:
+            self.result.atomics += 1
+        else:
+            self.result.bypasses += 1
+
+        if kind != AccessKind.STORE:
+            wf.outstanding += 1
+        # Keep issuing while the wavefront has MLP headroom (stores never
+        # block, so they always leave headroom).
+        if wf.outstanding < wf.mlp:
+            self._schedule_issue(wf, t)
+
+        if self.decoupled:
+            req.dcl1_id = self.home.home_of(wf.core_id, line)
+            self._enter_node(req, t)
+        else:
+            if kind in (AccessKind.ATOMIC, AccessKind.BYPASS):
+                t2 = self.topo.to_l2(t, wf.core_id, req.l2_id, 1)
+                self.engine.schedule(t2, self._at_l2, req)
+            else:
+                self.engine.schedule(t, self._l1_access, req)
+
+    def _wf_refill(self, wf: Wavefront) -> None:
+        core = self.cores[wf.core_id]
+        stream = core.next_stream(self.workload.streams)
+        if stream is not None:
+            wf.bind(stream)
+            self._wf_issue(wf)
+        else:
+            core.active_wavefronts -= 1
+            core.finish_time = self.engine.now
+
+    # ---------------------------------------------------------- node admission
+
+    def _enter_node(self, req: MemoryRequest, t: float) -> None:
+        """Admit a request into its home DC-L1 node, honouring Q1 credits
+        when finite node queues are enabled."""
+        credits = self._node_credits
+        if credits is None:
+            self._dispatch_to_node(req, t)
+            return
+        n = req.dcl1_id
+        if credits[n] > 0:
+            credits[n] -= 1
+            self._dispatch_to_node(req, t)
+        else:
+            self._node_waiters[n].append(req)
+            self.result.node_queue_stalls += 1
+
+    def _dispatch_to_node(self, req: MemoryRequest, t: float) -> None:
+        flits = self._req_flits if req.kind == AccessKind.STORE else 1
+        t1 = self.topo.core_to_dcl1(t, req.core_id, req.dcl1_id, flits)
+        if req.kind in (AccessKind.ATOMIC, AccessKind.BYPASS):
+            # Q1 -> Q3 pass-through: no DC-L1$ access; the Q1 slot frees as
+            # soon as the request moves on toward L2.
+            t2 = self.topo.to_l2(t1, req.dcl1_id, req.l2_id, 1)
+            self.engine.schedule(t2, self._at_l2, req)
+            if self._node_credits is not None:
+                self.engine.schedule(t1, self._release_node, req.dcl1_id)
+        else:
+            self.engine.schedule(t1, self._l1_access, req)
+
+    def _release_node(self, n: int) -> None:
+        """Free one Q1 slot of node ``n``; admit the oldest waiter if any."""
+        if self._node_credits is None:
+            return
+        waiters = self._node_waiters[n]
+        if waiters:
+            self._dispatch_to_node(waiters.popleft(), self.engine.now)
+        else:
+            self._node_credits[n] += 1
+
+    # ---------------------------------------------------------- L1-level side
+
+    def _l1_index(self, req: MemoryRequest) -> int:
+        return req.dcl1_id if self.decoupled else req.core_id
+
+    def _l1_access(self, req: MemoryRequest) -> None:
+        idx = self._l1_index(req)
+        t = self.l1_banks[idx].reserve(self.engine.now)
+        if self._node_credits is not None:
+            # The request leaves Q1 once the (pipelined) bank accepts it —
+            # occupancy, not access latency, holds the queue slot.
+            free_at = max(self.engine.now, t - self.l1_banks[idx].latency)
+            self.engine.schedule(free_at, self._release_node, idx)
+        cache = self.l1_caches[idx]
+        filters = self.l1_filters
+        if req.kind == AccessKind.LOAD:
+            if cache.access_load(req.line):
+                req.l1_hit = True
+                if filters is not None:
+                    filters[idx].on_hit(req.line)
+                self._l1_reply(req, t)
+            else:
+                self._l1_miss(req, t, idx)
+        else:  # STORE: write-evict + no-write-allocate, always to L2
+            hit = cache.access_store(req.line)
+            req.l1_hit = hit
+            if hit and filters is not None:
+                filters[idx].on_evict(req.line)
+            flits = self._req_flits + (self._line_flits if hit else 0)
+            src = idx if self.decoupled else req.core_id
+            t2 = self.topo.to_l2(t, src, req.l2_id, flits)
+            self.engine.schedule(t2, self._at_l2, req)
+
+    def _l1_miss(self, req: MemoryRequest, t: float, idx: int) -> None:
+        outcome = self.l1_mshrs[idx].allocate(req.line, req)
+        if outcome == "new":
+            src = idx if self.decoupled else req.core_id
+            t2 = self.topo.to_l2(t, src, req.l2_id, 1)
+            self.engine.schedule(t2, self._at_l2, req)
+        elif outcome == "merged":
+            req.merged = True
+        # "stalled": the request sits in the MSHR's stall queue and is
+        # re-injected by _l1_fill after an entry frees.
+
+    def _l1_reply(self, req: MemoryRequest, t: float) -> None:
+        """Deliver a load's data to its core (NoC#1 hop when decoupled)."""
+        if self.decoupled:
+            t = self.topo.dcl1_to_core(t, req.dcl1_id, req.core_id, self._noc1_reply_flits)
+        self.engine.schedule(t, self._complete, req)
+
+    def _l1_fill(self, req: MemoryRequest) -> None:
+        """A load fill arrived back at the L1 level (Q4): install, wake the
+        merged waiters, reply to every requesting core."""
+        now = self.engine.now
+        idx = self._l1_index(req)
+        cache = self.l1_caches[idx]
+        if self.l1_filters is not None:
+            fil = self.l1_filters[idx]
+            if fil.should_install():
+                victim = cache.install(req.line)
+                fil.on_install(req.line)
+                if victim is not None:
+                    fil.on_evict(victim)
+            else:
+                self.result.bypassed_fills += 1
+        else:
+            cache.install(req.line)
+        mshr = self.l1_mshrs[idx]
+        for waiter in mshr.release(req.line):
+            self._l1_reply(waiter, now)
+        self._drain_l1_stalls(idx, now)
+
+    def _drain_l1_stalls(self, idx: int, now: float) -> None:
+        """Replay stalled requests into freed MSHR entries.
+
+        Replays allocate synchronously (one bank replay per freed entry),
+        so a full MSHR costs each stalled request one replay — not a
+        retry storm racing for the same entry.
+        """
+        mshr = self.l1_mshrs[idx]
+        cache = self.l1_caches[idx]
+        while mshr.has_stalled() and not mshr.full:
+            retry = mshr.pop_stalled()
+            t = self.l1_banks[idx].reserve(now)
+            if cache.access_load(retry.line):
+                retry.l1_hit = True
+                if self.l1_filters is not None:
+                    self.l1_filters[idx].on_hit(retry.line)
+                self._l1_reply(retry, t)
+                continue
+            outcome = mshr.allocate(retry.line, retry)
+            if outcome == "new":
+                src = idx if self.decoupled else retry.core_id
+                t2 = self.topo.to_l2(t, src, retry.l2_id, 1)
+                self.engine.schedule(t2, self._at_l2, retry)
+            elif outcome == "stalled":
+                break
+
+    # ----------------------------------------------------------- L2 and DRAM
+
+    def _charge_writebacks(self, s: int, t: float) -> None:
+        """Charge DRAM bandwidth for dirty L2 victims (fire-and-forget)."""
+        slice_ = self.l2_slices[s]
+        channel = self.mcs[self.amap.channel_of_slice(s)]
+        for victim in slice_.drain_writebacks():
+            channel.access(t, victim)
+            self.result.dram_writebacks += 1
+
+    def _at_l2(self, req: MemoryRequest) -> None:
+        s = req.l2_id
+        slice_ = self.l2_slices[s]
+        if req.kind == AccessKind.STORE:
+            t = self.l2_banks[s].reserve(self.engine.now)
+            slice_.access_store(req.line)
+            self._charge_writebacks(s, t)
+            self._reply_from_l2(req, t)
+        elif req.kind == AccessKind.ATOMIC:
+            # Read-modify-write at the L2/MC: double bank occupancy, DRAM
+            # fill on miss, no MSHR merging (atomics serialize).
+            t = self.l2_banks[s].reserve(self.engine.now, 2.0)
+            if slice_.access_load(req.line):
+                req.l2_hit = True
+                self._reply_from_l2(req, t)
+            else:
+                t2 = self.mcs[req.mc_id].access(t, req.line)
+                self.result.dram_accesses += 1
+                slice_.install(req.line)
+                self._charge_writebacks(s, t)
+                self._reply_from_l2(req, t2)
+        else:  # LOAD or BYPASS fill
+            t = self.l2_banks[s].reserve(self.engine.now)
+            if slice_.access_load(req.line):
+                req.l2_hit = True
+                self._reply_from_l2(req, t)
+            else:
+                outcome = slice_.mshr.allocate(req.line, req)
+                if outcome == "new":
+                    t2 = self.mcs[req.mc_id].access(t, req.line)
+                    self.result.dram_accesses += 1
+                    self.engine.schedule(t2, self._dram_fill, req)
+                elif outcome == "merged":
+                    req.merged = True
+
+    def _dram_fill(self, req: MemoryRequest) -> None:
+        now = self.engine.now
+        slice_ = self.l2_slices[req.l2_id]
+        slice_.install(req.line)
+        self._charge_writebacks(req.l2_id, now)
+        for waiter in slice_.mshr.release(req.line):
+            self._reply_from_l2(waiter, now)
+        self._drain_l2_stalls(req.l2_id, now)
+
+    def _drain_l2_stalls(self, s: int, now: float) -> None:
+        """Replay stalled L2 requests into freed MSHR entries (see
+        :meth:`_drain_l1_stalls` for why this is synchronous)."""
+        slice_ = self.l2_slices[s]
+        mshr = slice_.mshr
+        while mshr.has_stalled() and not mshr.full:
+            retry = mshr.pop_stalled()
+            t = self.l2_banks[s].reserve(now)
+            if slice_.access_load(retry.line):
+                retry.l2_hit = True
+                self._reply_from_l2(retry, t)
+                continue
+            outcome = mshr.allocate(retry.line, retry)
+            if outcome == "new":
+                t2 = self.mcs[retry.mc_id].access(t, retry.line)
+                self.result.dram_accesses += 1
+                self.engine.schedule(t2, self._dram_fill, retry)
+            elif outcome == "stalled":
+                break
+
+    def _reply_from_l2(self, req: MemoryRequest, t: float) -> None:
+        """Route an L2 reply (fill / ACK / atomic result) back up."""
+        kind = req.kind
+        if kind in (AccessKind.LOAD, AccessKind.BYPASS):
+            flits = self._line_flits  # fills carry the whole line
+        else:
+            flits = 1  # store ACK / atomic result
+        dst = req.dcl1_id if self.decoupled else req.core_id
+        t2 = self.topo.from_l2(t, req.l2_id, dst, flits)
+        if kind == AccessKind.LOAD:
+            self.engine.schedule(t2, self._l1_fill, req)
+        else:
+            if self.decoupled:
+                # ACK / atomic / bypass replies ride NoC#1 back to the core
+                # (Q4 -> Q2 pass-through for non-L1 traffic).
+                up_flits = self._line_flits if kind == AccessKind.BYPASS else 1
+                t3 = self.topo.dcl1_to_core(t2, req.dcl1_id, req.core_id, up_flits)
+                self.engine.schedule(t3, self._complete, req)
+            else:
+                self.engine.schedule(t2, self._complete, req)
+
+    # ------------------------------------------------------------- completion
+
+    def _complete(self, req: MemoryRequest) -> None:
+        now = self.engine.now
+        self.outstanding -= 1
+        if req.kind == AccessKind.LOAD:
+            self.result.load_rtt_sum += now - req.issue_time
+            self.result.load_rtt_count += 1
+        if req.kind != AccessKind.STORE:
+            wf = req.wavefront
+            wf.outstanding -= 1
+            self._schedule_issue(wf, now)
+
+    # -------------------------------------------------------------- collect
+
+    def _collect(self) -> None:
+        res = self.result
+        cycles = self.engine.now
+        res.cycles = cycles
+        res.instructions = sum(c.instructions for c in self.cores)
+
+        for cache in self.l1_caches:
+            res.l1.merge(cache.stats)
+        misses = res.l1.misses
+        res.replication_ratio = res.l1.replicated_misses / misses if misses else 0.0
+        res.mean_replicas = self.l1_directory.mean_replicas_sampled()
+
+        for slice_ in self.l2_slices:
+            res.l2.merge(slice_.stats)
+
+        if cycles > 0:
+            utils = [b.utilization(cycles) for b in self.l1_banks]
+            # Normalize DC-L1 bank utilization to requests-per-cycle against
+            # the bank's peak (service may be < 1 for the SingleL1 ideal).
+            res.l1_port_util_max = max(utils)
+            res.l1_port_util_mean = sum(utils) / len(utils)
+            res.core_reply_link_util_max = self.topo.max_core_reply_link_utilization(cycles)
+            res.dram_util_mean = sum(mc.utilization(cycles) for mc in self.mcs) / len(self.mcs)
+
+        for xb in self.topo.noc1_req + self.topo.noc1_rep:
+            res.noc_traffic.append((xb.flit_hops, xb.link_mm, self.spec.noc1_freq_mult))
+        for xb in self.topo.noc2_req + self.topo.noc2_rep + self.topo.cdx2_req + self.topo.cdx2_rep:
+            res.noc_traffic.append((xb.flit_hops, xb.link_mm, self.spec.noc2_freq_mult))
+
+        for mshr in self.l1_mshrs:
+            res.mshr_primary += mshr.primary_misses
+            res.mshr_secondary += mshr.secondary_misses
+            res.mshr_stalls += mshr.stall_events
+
+
+def simulate(
+    workload: Union[Workload, AppProfile],
+    spec: DesignSpec,
+    config: Optional[SimConfig] = None,
+) -> SimResult:
+    """Build and run one simulation; the one-call public entry point."""
+    return GPUSystem(workload, spec, config).run()

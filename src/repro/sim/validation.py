@@ -1,0 +1,124 @@
+"""Post-run invariant auditing.
+
+:func:`audit` inspects a finished :class:`~repro.sim.system.GPUSystem` and
+checks the structural invariants a correct run must satisfy — request
+conservation, stats consistency, directory/capacity agreement, replication
+bounds implied by the design.  Tests use it after every integration run;
+it is also handy when developing new designs or workload models
+(``simulate(..., )`` then ``audit(system)`` in a debugger).
+
+Each violated invariant produces one human-readable finding; an empty list
+means the run is clean.  :func:`assert_clean` raises on findings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.designs import DesignKind
+
+
+def audit(system) -> List[str]:
+    """Return a list of invariant violations for a completed system."""
+    findings: List[str] = []
+    res = system.result
+
+    def check(ok: bool, message: str) -> None:
+        if not ok:
+            findings.append(message)
+
+    check(system._ran, "system has not run")
+    check(system.outstanding == 0, f"{system.outstanding} requests still outstanding")
+    check(system.engine.empty(), "event queue not drained")
+    check(res.cycles >= 0, "negative cycle count")
+
+    # Request conservation: everything the trace contains was issued.
+    check(
+        res.total_requests == system.workload.total_accesses,
+        f"issued {res.total_requests} != trace {system.workload.total_accesses}",
+    )
+    # Every load got a round-trip measurement.
+    check(
+        res.load_rtt_count == res.loads,
+        f"rtt measured for {res.load_rtt_count} of {res.loads} loads",
+    )
+
+    # Cores drained.
+    for core in system.cores:
+        check(core.idle, f"core {core.core_id} still has work")
+        check(
+            core.active_wavefronts == 0,
+            f"core {core.core_id} has {core.active_wavefronts} live wavefronts",
+        )
+
+    # Node queues drained (finite-Q1 mode).
+    if system._node_waiters is not None:
+        for n, waiters in enumerate(system._node_waiters):
+            check(not waiters, f"DC-L1 node {n} still has parked requests")
+
+    # MSHRs drained.
+    for i, mshr in enumerate(system.l1_mshrs):
+        check(mshr.drained(), f"L1-level MSHR {i} not drained")
+    for s in system.l2_slices:
+        check(s.mshr.drained(), f"L2 slice {s.slice_id} MSHR not drained")
+
+    # Cache-level stats consistency.
+    l1 = res.l1
+    check(l1.accesses == l1.hits + l1.misses, "L1 stats do not balance")
+    check(
+        l1.replicated_misses <= l1.misses,
+        "more replicated misses than misses",
+    )
+    if not system.spec.perfect_l1:
+        # Perfect caches hit without evicting; real ones write-evict.
+        check(l1.store_hits == l1.write_evicts, "write-evict accounting broken")
+
+    # Capacity invariants.
+    for cache in system.l1_caches:
+        check(
+            cache.occupancy() <= cache.num_lines,
+            f"{cache.name} over capacity",
+        )
+    # Directory agreement: total resident copies equals cache occupancy sum
+    # (perfect caches install nothing).
+    if not system.spec.perfect_l1:
+        resident = sum(c.occupancy() for c in system.l1_caches)
+        check(
+            system.l1_directory.total_copies() == resident,
+            f"directory copies {system.l1_directory.total_copies()} != "
+            f"resident lines {resident}",
+        )
+
+    # Design-implied replication bounds.
+    if system.spec.kind == DesignKind.DCL1 and system.geometry is not None:
+        z = system.geometry.num_clusters
+        check(
+            res.mean_replicas <= z + 1e-9,
+            f"mean replicas {res.mean_replicas:.2f} exceed cluster bound {z}",
+        )
+        if z == 1:
+            check(
+                res.replication_ratio == 0.0,
+                "fully shared design observed replicated misses",
+            )
+    if system.spec.kind == DesignKind.SINGLE_L1:
+        check(res.replication_ratio == 0.0, "single L1 cannot replicate")
+
+    # Utilizations are fractions.
+    for name, value in (
+        ("l1_port_util_max", res.l1_port_util_max),
+        ("core_reply_link_util_max", res.core_reply_link_util_max),
+        ("dram_util_mean", res.dram_util_mean),
+    ):
+        check(0.0 <= value <= 1.0, f"{name} out of [0,1]: {value}")
+
+    return findings
+
+
+def assert_clean(system) -> None:
+    """Raise AssertionError listing every violated invariant."""
+    findings = audit(system)
+    if findings:
+        raise AssertionError(
+            "invariant violations:\n  " + "\n  ".join(findings)
+        )

@@ -1,0 +1,27 @@
+"""Synthetic GPGPU workload suite calibrated to the paper's Figure 1."""
+
+from repro.workloads.generator import CTAStream, Workload, generate_workload
+from repro.workloads.profile import AppProfile
+from repro.workloads.suite import (
+    APP_NAMES,
+    REPLICATION_SENSITIVE,
+    POOR_PERFORMING,
+    all_apps,
+    get_app,
+    replication_sensitive_apps,
+    replication_insensitive_apps,
+)
+
+__all__ = [
+    "AppProfile",
+    "CTAStream",
+    "Workload",
+    "generate_workload",
+    "APP_NAMES",
+    "REPLICATION_SENSITIVE",
+    "POOR_PERFORMING",
+    "all_apps",
+    "get_app",
+    "replication_sensitive_apps",
+    "replication_insensitive_apps",
+]

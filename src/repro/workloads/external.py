@@ -1,0 +1,142 @@
+"""Adapters for externally supplied traces.
+
+The simulator does not care where access streams come from; these helpers
+wrap raw per-CTA address/kind arrays — e.g. collected from an instrumented
+real application — into a :class:`~repro.workloads.generator.Workload`
+with an explicit :class:`~repro.workloads.profile.AppProfile` describing
+the *timing* parameters the trace itself cannot carry (wavefront slots,
+compute gap, MLP, coalescing width).
+
+Addresses may be given either as byte addresses (``unit="bytes"``) or
+directly as cache-line indices (``unit="lines"``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpu.request import AccessKind
+from repro.workloads.generator import CTAStream, Workload
+from repro.workloads.profile import AppProfile
+
+_KIND_NAMES = {
+    "load": AccessKind.LOAD,
+    "store": AccessKind.STORE,
+    "atomic": AccessKind.ATOMIC,
+    "bypass": AccessKind.BYPASS,
+}
+
+
+def _coerce_kinds(kinds, length: int) -> np.ndarray:
+    if kinds is None:
+        return np.zeros(length, dtype=np.uint8)
+    out = np.empty(length, dtype=np.uint8)
+    for i, k in enumerate(kinds):
+        if isinstance(k, str):
+            try:
+                out[i] = int(_KIND_NAMES[k.lower()])
+            except KeyError:
+                raise ValueError(f"unknown access kind {k!r}") from None
+        else:
+            value = int(k)
+            if not 0 <= value <= 3:
+                raise ValueError(f"access kind {value} out of range")
+            out[i] = value
+    return out
+
+
+def timing_profile(
+    name: str,
+    wavefront_slots: int = 8,
+    compute_gap: float = 4.0,
+    mlp: int = 3,
+    request_bytes: int = 32,
+) -> AppProfile:
+    """A minimal profile carrying only the timing parameters an external
+    trace needs (the address-generation fields are unused)."""
+    return AppProfile(
+        name=name,
+        num_ctas=1,
+        accesses_per_cta=1,
+        wavefront_slots=wavefront_slots,
+        compute_gap=compute_gap,
+        mlp=mlp,
+        request_bytes=request_bytes,
+    )
+
+
+def workload_from_streams(
+    streams: Iterable[Union[Sequence[int], Tuple[Sequence[int], Sequence]]],
+    profile: Optional[AppProfile] = None,
+    name: str = "external",
+    unit: str = "lines",
+    line_bytes: int = 128,
+    **timing,
+) -> Workload:
+    """Build a workload from per-CTA access sequences.
+
+    Each element of ``streams`` is either a sequence of addresses, or an
+    ``(addresses, kinds)`` pair where kinds are ints or names
+    (``"load"``/``"store"``/``"atomic"``/``"bypass"``).
+    """
+    if unit not in ("lines", "bytes"):
+        raise ValueError(f"unknown address unit {unit!r}")
+    if profile is None:
+        profile = timing_profile(name, **timing)
+    shift = line_bytes.bit_length() - 1
+    cta_streams = []
+    total = 0
+    for cta_id, entry in enumerate(streams):
+        if isinstance(entry, tuple) and len(entry) == 2:
+            addrs, kinds = entry
+        else:
+            addrs, kinds = entry, None
+        lines = np.asarray(list(addrs), dtype=np.int64)
+        if len(lines) == 0:
+            raise ValueError(f"CTA {cta_id} has an empty access stream")
+        if (lines < 0).any():
+            raise ValueError(f"CTA {cta_id} has negative addresses")
+        if unit == "bytes":
+            lines >>= shift
+        cta_streams.append(CTAStream(cta_id, lines, _coerce_kinds(kinds, len(lines))))
+        total += len(lines)
+    if not cta_streams:
+        raise ValueError("no streams given")
+    # Reflect real volume in the profile so scale/statistics make sense.
+    profile = AppProfile(
+        **{
+            **{f.name: getattr(profile, f.name) for f in profile.__dataclass_fields__.values()},
+            "num_ctas": len(cta_streams),
+            "accesses_per_cta": max(len(s) for s in cta_streams),
+        }
+    )
+    return Workload(profile, cta_streams)
+
+
+def workload_from_arrays(
+    lines: np.ndarray,
+    cta_of: np.ndarray,
+    kinds: Optional[np.ndarray] = None,
+    profile: Optional[AppProfile] = None,
+    name: str = "external",
+    **timing,
+) -> Workload:
+    """Build a workload from flat arrays: ``lines[i]`` accessed by CTA
+    ``cta_of[i]``; order within a CTA is preserved."""
+    lines = np.asarray(lines, dtype=np.int64)
+    cta_of = np.asarray(cta_of, dtype=np.int64)
+    if lines.shape != cta_of.shape:
+        raise ValueError("lines and cta_of must have identical shapes")
+    if kinds is not None:
+        kinds = np.asarray(kinds, dtype=np.uint8)
+        if kinds.shape != lines.shape:
+            raise ValueError("kinds must match lines")
+    streams = []
+    for cta_id in np.unique(cta_of):
+        mask = cta_of == cta_id
+        streams.append(
+            (lines[mask], kinds[mask] if kinds is not None else None)
+        )
+    return workload_from_streams(streams, profile=profile, name=name, **timing)

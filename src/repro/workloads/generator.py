@@ -1,0 +1,167 @@
+"""Deterministic synthetic trace generation.
+
+Each CTA gets one access stream built from *block sweeps*: pick a block of
+``block_lines`` consecutive lines in some region (shared / neighbourhood /
+private / camping) and sweep it ``block_repeats`` times.  Consecutive
+sweeps give controllable temporal locality (per-stream hit rate roughly
+``(repeats-1)/repeats`` plus cross-CTA reuse); the region mix controls
+inter-core sharing and therefore replication; camping blocks restrict the
+home-selection residues of their lines.
+
+Generation is fully deterministic: the RNG is seeded from the app name, so
+every design point sees bit-identical traces — differences between designs
+are never generator noise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.gpu.request import AccessKind
+from repro.workloads import regions
+from repro.workloads.profile import AppProfile
+
+
+class CTAStream:
+    """One CTA's memory-access stream (line indices + access kinds)."""
+
+    __slots__ = ("cta_id", "lines", "kinds")
+
+    def __init__(self, cta_id: int, lines: np.ndarray, kinds: np.ndarray):
+        self.cta_id = cta_id
+        self.lines = lines
+        self.kinds = kinds
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+class Workload:
+    """A generated application: all CTA streams plus the profile."""
+
+    def __init__(self, profile: AppProfile, streams: List[CTAStream]):
+        self.profile = profile
+        self.streams = streams
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def num_ctas(self) -> int:
+        return len(self.streams)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(s) for s in self.streams)
+
+    def core_weights(self, num_cores: int) -> Sequence[float]:
+        """CTA-assignment weights (None when balanced).
+
+        Imbalance ``b`` produces a linear skew from ``1-b`` to ``1+b``
+        across cores — the R-SC work-distribution behaviour.
+        """
+        b = self.profile.imbalance
+        if b <= 0:
+            return None
+        if num_cores == 1:
+            return [1.0]
+        return [1.0 - b + 2.0 * b * c / (num_cores - 1) for c in range(num_cores)]
+
+    def distinct_lines(self) -> int:
+        """Footprint in distinct lines (workload characterization)."""
+        if not self.streams:
+            return 0
+        return len(np.unique(np.concatenate([s.lines for s in self.streams])))
+
+
+def _camp_block(prof: AppProfile, rng, cta_id: int, shared: bool) -> List[int]:
+    """One camping block sweep (home residues restricted to camp_width)."""
+    width = prof.camp_width
+    if shared:
+        k_span = max(1, prof.shared_lines // max(width, 1))
+        k_base = 0
+    else:
+        k_span = max(1, prof.private_lines // max(width, 1))
+        k_base = cta_id * k_span
+    k0 = int(rng.integers(0, k_span))
+    block = []
+    for j in range(prof.block_lines):
+        k = k_base + (k0 + j // width) % k_span
+        r = j % width
+        block.append(regions.camp_line(k, r, shared))
+    return block
+
+
+def _plain_block(prof: AppProfile, rng, base: int, span: int) -> List[int]:
+    """One contiguous block sweep within ``[base, base + span)``."""
+    size = min(prof.block_lines, span)
+    start = base + int(rng.integers(0, max(1, span - size + 1)))
+    return list(range(start, start + size))
+
+
+def _shared_block(prof: AppProfile, rng, cta_id: int) -> List[int]:
+    """A block in the shared region.
+
+    With probability ``shared_locality`` the block is drawn from the CTA's
+    locality window — a quarter-region slice centred at the CTA's position,
+    so *adjacent* CTAs share almost the same window — and otherwise from
+    the whole region uniformly.  The windowed share is what a
+    locality-aware CTA scheduler can turn into intra-core reuse.
+    """
+    span = prof.shared_lines
+    if prof.shared_locality > 0 and rng.random() < prof.shared_locality:
+        width = min(span, max(prof.block_lines, span // 4))
+        denom = max(1, prof.num_ctas - 1)
+        center = int(round(cta_id / denom * (span - width)))
+        return _plain_block(prof, rng, regions.SHARED_BASE + center, width)
+    return _plain_block(prof, rng, regions.SHARED_BASE, span)
+
+
+def _gen_stream(prof: AppProfile, cta_id: int, rng) -> CTAStream:
+    n = prof.accesses_per_cta
+    out: List[int] = []
+    while len(out) < n:
+        u = rng.random()
+        if u < prof.shared_fraction:
+            if prof.camp_fraction > 0 and prof.camp_shared and rng.random() < prof.camp_fraction:
+                block = _camp_block(prof, rng, cta_id, shared=True)
+            else:
+                block = _shared_block(prof, rng, cta_id)
+        elif u < prof.shared_fraction + prof.neighbor_fraction:
+            base = regions.neighbor_window(cta_id, prof.neighbor_lines)
+            block = _plain_block(prof, rng, base, prof.neighbor_lines)
+        else:
+            if (
+                prof.camp_fraction > 0
+                and not prof.camp_shared
+                and rng.random() < prof.camp_fraction
+            ):
+                block = _camp_block(prof, rng, cta_id, shared=False)
+            else:
+                base = regions.private_window(cta_id, prof.private_lines)
+                block = _plain_block(prof, rng, base, prof.private_lines)
+        for _ in range(prof.block_repeats):
+            out.extend(block)
+            if len(out) >= n:
+                break
+    lines = np.asarray(out[:n], dtype=np.int64)
+
+    kinds = np.full(n, int(AccessKind.LOAD), dtype=np.uint8)
+    mix = rng.random(n)
+    edge = prof.store_fraction
+    kinds[mix < edge] = int(AccessKind.STORE)
+    kinds[(mix >= edge) & (mix < edge + prof.atomic_fraction)] = int(AccessKind.ATOMIC)
+    edge += prof.atomic_fraction
+    kinds[(mix >= edge) & (mix < edge + prof.bypass_fraction)] = int(AccessKind.BYPASS)
+    return CTAStream(cta_id, lines, kinds)
+
+
+def generate_workload(profile: AppProfile, scale: float = 1.0) -> Workload:
+    """Generate the full workload for ``profile`` at the given scale."""
+    prof = profile.scaled(scale)
+    rng = np.random.default_rng(prof.seed)
+    streams = [_gen_stream(prof, cta, rng) for cta in range(prof.num_ctas)]
+    return Workload(prof, streams)

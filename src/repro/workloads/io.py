@@ -1,0 +1,133 @@
+"""Workload serialization.
+
+Generated workloads are deterministic, but long calibrated traces are
+worth persisting: regeneration costs RNG time, and external tools (or a
+real-GPU trace collector) may want to inspect or produce traces in a
+stable format.  Two formats are supported:
+
+* **npz** — compact binary: one concatenated line/kind array pair plus
+  per-CTA offsets and the generating profile's parameters (so a loaded
+  workload knows its timing parameters: slots, gap, mlp, request bytes).
+* **csv** — one row per access (``cta,index,line,kind``), for inspection
+  and interoperability; profile parameters travel in a header comment.
+
+Round-tripping preserves traces bit-exactly; profiles are restored from
+their stored fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.generator import CTAStream, Workload
+from repro.workloads.profile import AppProfile
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _profile_to_json(profile: AppProfile) -> str:
+    return json.dumps(dataclasses.asdict(profile), sort_keys=True)
+
+
+def _profile_from_json(payload: str) -> AppProfile:
+    return AppProfile(**json.loads(payload))
+
+
+def save_npz(workload: Workload, path: PathLike) -> None:
+    """Write a workload to ``path`` in npz format."""
+    streams = workload.streams
+    lines = (
+        np.concatenate([s.lines for s in streams])
+        if streams
+        else np.empty(0, dtype=np.int64)
+    )
+    kinds = (
+        np.concatenate([s.kinds for s in streams])
+        if streams
+        else np.empty(0, dtype=np.uint8)
+    )
+    lengths = np.asarray([len(s) for s in streams], dtype=np.int64)
+    cta_ids = np.asarray([s.cta_id for s in streams], dtype=np.int64)
+    np.savez_compressed(
+        path,
+        lines=lines,
+        kinds=kinds,
+        lengths=lengths,
+        cta_ids=cta_ids,
+        profile=np.frombuffer(_profile_to_json(workload.profile).encode(), dtype=np.uint8),
+    )
+
+
+def load_npz(path: PathLike) -> Workload:
+    """Read a workload previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        profile = _profile_from_json(bytes(data["profile"]).decode())
+        lines = data["lines"]
+        kinds = data["kinds"]
+        lengths = data["lengths"]
+        cta_ids = data["cta_ids"]
+    streams = []
+    offset = 0
+    for cta_id, length in zip(cta_ids, lengths):
+        streams.append(
+            CTAStream(
+                int(cta_id),
+                lines[offset : offset + length].copy(),
+                kinds[offset : offset + length].copy(),
+            )
+        )
+        offset += int(length)
+    if offset != len(lines):
+        raise ValueError(f"corrupt workload file {path}: trailing accesses")
+    return Workload(profile, streams)
+
+
+def save_csv(workload: Workload, path: PathLike) -> None:
+    """Write a workload to ``path`` as CSV (header comment carries the
+    profile as JSON)."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# profile: {_profile_to_json(workload.profile)}\n")
+        fh.write("cta,index,line,kind\n")
+        for stream in workload.streams:
+            for i, (line, kind) in enumerate(zip(stream.lines, stream.kinds)):
+                fh.write(f"{stream.cta_id},{i},{int(line)},{int(kind)}\n")
+
+
+def load_csv(path: PathLike) -> Workload:
+    """Read a workload previously written by :func:`save_csv`."""
+    path = pathlib.Path(path)
+    profile = None
+    per_cta: dict = {}
+    with path.open() as fh:
+        for raw in fh:
+            row = raw.strip()
+            if not row:
+                continue
+            if row.startswith("#"):
+                marker = "# profile:"
+                if row.startswith(marker):
+                    profile = _profile_from_json(row[len(marker):].strip())
+                continue
+            if row.startswith("cta,"):
+                continue
+            cta, _idx, line, kind = row.split(",")
+            per_cta.setdefault(int(cta), []).append((int(line), int(kind)))
+    if profile is None:
+        raise ValueError(f"{path} has no profile header")
+    streams = []
+    for cta_id in sorted(per_cta):
+        pairs = per_cta[cta_id]
+        streams.append(
+            CTAStream(
+                cta_id,
+                np.asarray([p[0] for p in pairs], dtype=np.int64),
+                np.asarray([p[1] for p in pairs], dtype=np.uint8),
+            )
+        )
+    return Workload(profile, streams)

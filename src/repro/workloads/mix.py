@@ -1,0 +1,96 @@
+"""Workload composition.
+
+GPUs time-share and co-schedule kernels; the DC-L1 question "does a
+shared organization still help when unrelated kernels contend for it?" is
+best asked with *mixed* workloads.  Two compositions are provided:
+
+* :func:`interleave` — CTAs from several workloads alternate in launch
+  order, so their wavefronts coexist on the cores (co-scheduled kernels
+  contending for the same DC-L1s);
+* :func:`concatenate` — one workload's CTAs run after the other's
+  (phased execution: caches warmed by phase 1 are repurposed in phase 2).
+
+The mixed workload's timing parameters (slots, gap, mlp, request bytes)
+come from the first component; mixing is address-safe because each
+component keeps its own region bases but they *share* the global shared
+region — pass ``isolate=True`` to offset each component's lines into a
+private address partition instead (no inter-workload sharing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.workloads.generator import CTAStream, Workload
+
+#: Line-index stride between isolated components (far above every region).
+ISOLATION_STRIDE = 1 << 32
+
+
+def _clone_streams(workload: Workload, offset_lines: int) -> List[CTAStream]:
+    out = []
+    for s in workload.streams:
+        lines = s.lines + offset_lines if offset_lines else s.lines.copy()
+        out.append(CTAStream(s.cta_id, lines, s.kinds.copy()))
+    return out
+
+
+def _prepare(workloads: Sequence[Workload], isolate: bool) -> List[List[CTAStream]]:
+    if len(workloads) < 2:
+        raise ValueError("mixing needs at least two workloads")
+    prepared = []
+    for i, w in enumerate(workloads):
+        offset = i * ISOLATION_STRIDE if isolate else 0
+        prepared.append(_clone_streams(w, offset))
+    return prepared
+
+
+def _renumber(streams: List[CTAStream]) -> List[CTAStream]:
+    for new_id, s in enumerate(streams):
+        s.cta_id = new_id
+    return streams
+
+
+def _mixed_profile(workloads: Sequence[Workload], streams, tag: str):
+    import dataclasses
+
+    base = workloads[0].profile
+    name = tag + "(" + "+".join(w.name for w in workloads) + ")"
+    return dataclasses.replace(
+        base,
+        name=name,
+        num_ctas=len(streams),
+        accesses_per_cta=max(len(s) for s in streams),
+    )
+
+
+def interleave(workloads: Sequence[Workload], isolate: bool = False) -> Workload:
+    """Alternate CTAs from each workload in launch order."""
+    prepared = _prepare(workloads, isolate)
+    mixed: List[CTAStream] = []
+    longest = max(len(p) for p in prepared)
+    for k in range(longest):
+        for p in prepared:
+            if k < len(p):
+                mixed.append(p[k])
+    streams = _renumber(mixed)
+    return Workload(_mixed_profile(workloads, streams, "mix"), streams)
+
+
+def concatenate(workloads: Sequence[Workload], isolate: bool = False) -> Workload:
+    """Run each workload's CTAs after the previous one's."""
+    prepared = _prepare(workloads, isolate)
+    mixed: List[CTAStream] = [s for p in prepared for s in p]
+    streams = _renumber(mixed)
+    return Workload(_mixed_profile(workloads, streams, "seq"), streams)
+
+
+def footprint_overlap(a: Workload, b: Workload) -> float:
+    """Jaccard overlap of two workloads' line footprints (diagnostics)."""
+    la = np.unique(np.concatenate([s.lines for s in a.streams]))
+    lb = np.unique(np.concatenate([s.lines for s in b.streams]))
+    inter = np.intersect1d(la, lb, assume_unique=True).size
+    union = la.size + lb.size - inter
+    return inter / union if union else 0.0

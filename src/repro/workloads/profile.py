@@ -1,0 +1,153 @@
+"""Application profiles.
+
+An :class:`AppProfile` is the synthetic stand-in for one GPGPU benchmark:
+a small set of parameters from which deterministic per-CTA memory-access
+streams are generated.  The parameters map one-to-one onto the behaviours
+the paper's evaluation depends on:
+
+====================  =====================================================
+``shared_*``          Globally shared data (model weights, frontiers, ...):
+                      the source of inter-core replication (Figure 1).
+``neighbor_*``        Data shared between *adjacent* CTAs (stencils): the
+                      locality a distributed CTA scheduler can capture.
+``private_*``         Per-CTA data: never replicated.
+``block_lines`` /     Reuse structure: streams access consecutive blocks,
+``block_repeats``     each swept ``block_repeats`` times — the knob for L1
+                      miss rate and capacity (16x) sensitivity.
+``camp_*``            Partition-camping address patterns (Section V-B):
+                      accesses whose line indices concentrate on a few
+                      residues modulo the camp modulus, so their home
+                      DC-L1s collide.  ``camp_shared`` decides whether all
+                      CTAs camp on the *same* lines (P-2MM: replication +
+                      camping) or on disjoint per-CTA lines (C-RAY, P-3MM,
+                      P-GEMM: camping without replication).
+``request_bytes``     Warp coalescing: bytes returned per access — full
+                      128 B lines stress the NoC#1 reply links (the
+                      bandwidth sensitivity of P-2DCONV / P-3DCONV).
+``wavefront_slots``   Latency tolerance (C-NN has few wavefronts in
+``compute_gap``       flight; Tango networks have many).
+``imbalance``         CTA-assignment skew (the R-SC behaviour).
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Parameters describing one synthetic GPGPU application."""
+
+    name: str
+    suite: str = ""
+
+    # Volume / shape
+    num_ctas: int = 320
+    accesses_per_cta: int = 96
+    wavefront_slots: int = 8
+    compute_gap: float = 4.0
+    # Memory-level parallelism: blocking loads a wavefront keeps in flight.
+    # slots x mlp is the core's outstanding-request window; values >= ~3
+    # make a core issue-/bandwidth-bound (GPU-like) rather than
+    # latency-bound, which is the paper's latency-tolerance property.
+    mlp: int = 3
+    request_bytes: int = 32
+
+    # Shared (inter-core) region
+    shared_lines: int = 0
+    shared_fraction: float = 0.0
+    # Inter-CTA locality within the shared region: 0 = every CTA samples
+    # the whole region uniformly; values toward 1 confine each CTA to a
+    # window centred at its position, so *nearby* CTAs share most — the
+    # structure a locality-aware (distributed) CTA scheduler exploits
+    # (Section VIII-A's scheduler study).
+    shared_locality: float = 0.0
+
+    # Neighbourhood (adjacent-CTA) region
+    neighbor_lines: int = 64
+    neighbor_fraction: float = 0.0
+
+    # Per-CTA private region
+    private_lines: int = 256
+
+    # Reuse structure
+    block_lines: int = 16
+    block_repeats: int = 2
+
+    # Partition camping
+    camp_fraction: float = 0.0
+    camp_width: int = 4
+    camp_shared: bool = True
+
+    # Access mix
+    store_fraction: float = 0.0
+    atomic_fraction: float = 0.0
+    bypass_fraction: float = 0.0
+
+    # CTA-assignment skew in [0, 1): 0 = balanced
+    imbalance: float = 0.0
+
+    # Trace variant: changes the RNG stream without changing any
+    # distributional parameter (seed-robustness studies).
+    trace_variant: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("profile needs a name")
+        if self.num_ctas <= 0 or self.accesses_per_cta <= 0:
+            raise ValueError(f"{self.name}: CTA volume must be positive")
+        if not 0 <= self.shared_fraction <= 1:
+            raise ValueError(f"{self.name}: shared_fraction out of range")
+        if not 0 <= self.neighbor_fraction <= 1:
+            raise ValueError(f"{self.name}: neighbor_fraction out of range")
+        if self.shared_fraction + self.neighbor_fraction > 1:
+            raise ValueError(f"{self.name}: region fractions exceed 1")
+        mix = self.store_fraction + self.atomic_fraction + self.bypass_fraction
+        if mix > 1:
+            raise ValueError(f"{self.name}: access mix fractions exceed 1")
+        if self.shared_fraction > 0 and self.shared_lines <= 0:
+            raise ValueError(f"{self.name}: shared accesses need shared_lines > 0")
+        if not 0 <= self.shared_locality < 1:
+            raise ValueError(f"{self.name}: shared_locality must be in [0, 1)")
+        if self.block_lines <= 0 or self.block_repeats <= 0:
+            raise ValueError(f"{self.name}: block structure must be positive")
+        if self.camp_fraction > 0 and self.camp_width <= 0:
+            raise ValueError(f"{self.name}: camping needs a positive width")
+        if not 0 <= self.imbalance < 1:
+            raise ValueError(f"{self.name}: imbalance must be in [0, 1)")
+        if self.request_bytes <= 0:
+            raise ValueError(f"{self.name}: request_bytes must be positive")
+        if self.mlp < 1:
+            raise ValueError(f"{self.name}: mlp must be >= 1")
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-app RNG seed derived from the name and the
+        trace variant."""
+        base = zlib.crc32(self.name.encode())
+        return (base + 7919 * self.trace_variant) & 0x7FFFFFFF
+
+    def variant(self, k: int) -> "AppProfile":
+        """Same workload distribution, different RNG stream."""
+        if k < 0:
+            raise ValueError("variant index must be non-negative")
+        return replace(self, trace_variant=k)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.num_ctas * self.accesses_per_cta
+
+    def scaled(self, scale: float) -> "AppProfile":
+        """Scale the CTA count (simulation length) by ``scale``."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self
+        return replace(self, num_ctas=max(1, int(round(self.num_ctas * scale))))
+
+    def with_cores_scaled(self, factor: float) -> "AppProfile":
+        """Grow the workload with the machine (Section VIII-A's 120-core
+        study keeps per-core work constant)."""
+        return replace(self, num_ctas=max(1, int(round(self.num_ctas * factor))))

@@ -1,0 +1,62 @@
+"""Address-region layout for synthetic workloads.
+
+All workload addresses are *cache-line indices* (the simulator's native
+unit; byte addresses are ``line << 7`` for 128 B lines).  Four disjoint
+region classes partition the line-index space:
+
+==============  =============================================================
+shared          ``[0, shared_lines)`` — one region, touched by every CTA.
+camp            ``CAMP_BASE + k*CAMP_MODULUS + r`` — lines whose home-DC-L1
+                selection collides: only residues ``r < camp_width`` occur,
+                so under a shared organization with M homes the traffic
+                concentrates on ``min(camp_width, M)`` nodes per cluster.
+                The modulus (40) is aligned to the paper's DC-L1 node count
+                the way real power-of-two strides align with bank counts;
+                the bases ``k`` are multiplied by the modulus, which spreads
+                the L2-slice selection (``line mod 32``) so the *baseline*
+                does not camp at L2.
+neighbor        a sliding window per CTA with 50% overlap between CTA k and
+                CTA k+1 — sharing that a locality-aware (distributed) CTA
+                scheduler converts into intra-core reuse.
+private         ``PRIVATE_BASE + cta * private_lines`` — disjoint per CTA.
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+SHARED_BASE = 0
+CAMP_MODULUS = 40
+# Camp bases are exact multiples of the modulus so a camp line's home
+# residue is exactly its ``r`` argument.
+CAMP_BASE = CAMP_MODULUS * (1 << 16)
+CAMP_PRIVATE_BASE = CAMP_MODULUS * (1 << 18)
+NEIGHBOR_BASE = 1 << 26
+PRIVATE_BASE = 1 << 28
+
+
+def shared_line(offset: int) -> int:
+    """Line index of offset ``offset`` within the shared region."""
+    return SHARED_BASE + offset
+
+
+def camp_line(k: int, residue: int, shared: bool) -> int:
+    """A camping line: base walk index ``k``, home residue ``residue``.
+
+    ``shared`` campers (P-2MM) draw from one global camp region; private
+    campers (C-RAY / P-3MM / P-GEMM) get disjoint per-CTA regions via a
+    caller-disambiguated ``k``.
+    """
+    base = CAMP_BASE if shared else CAMP_PRIVATE_BASE
+    return base + k * CAMP_MODULUS + residue
+
+
+def neighbor_window(cta: int, neighbor_lines: int) -> int:
+    """First line of CTA ``cta``'s neighbourhood window (50% overlap with
+    the windows of CTAs ``cta - 1`` and ``cta + 1``)."""
+    half = max(1, neighbor_lines // 2)
+    return NEIGHBOR_BASE + cta * half
+
+
+def private_window(cta: int, private_lines: int) -> int:
+    """First line of CTA ``cta``'s private region."""
+    return PRIVATE_BASE + cta * max(1, private_lines)

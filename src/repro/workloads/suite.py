@@ -1,0 +1,265 @@
+"""The 28-application benchmark suite.
+
+Synthetic stand-ins for the paper's 28 GPGPU applications from five suites
+— CUDA-SDK (C), Rodinia (R), SHOC (S), PolyBench (P) and Tango (T).  Each
+profile is parameterized so its *measured* characteristics land in the
+band the paper's Figure 1 reports for the real application:
+
+* the Tango DNNs (T-*) read large shared weight sets with little in-stream
+  reuse → extreme replication ratios (T-AlexNet ≈ 95%) and huge wins from
+  shared DC-L1s;
+* S-Reduction / P-SYRK share footprints close to the *total* L1 capacity,
+  so only the fully shared Sh40 captures them (their clustered-design
+  behaviour in Figures 11/14);
+* P-2MM camps: its hot shared lines collide on few home DC-L1s (the
+  paper's partition-camping victim, called F-2MIM in Section V-B — the
+  benchmark list has no "F" suite, so we use the Section VIII name);
+* C-RAY / P-3MM / P-GEMM camp on *disjoint* per-CTA data: camping without
+  replication (poor performers under Sh40, relieved by clustering);
+* P-2DCONV / P-3DCONV request full 128 B lines at high intensity: peak-L1-
+  bandwidth-sensitive (the +Boost motivation);
+* C-NN runs few wavefronts with a tiny hot set: high hit rate, low latency
+  tolerance (hurt by the core↔DC-L1 hop);
+* R-SC's CTA assignment is skewed (work-distribution imbalance that the
+  shared organization smooths out);
+* the Tango/C-BFS/P-ATAX profiles carry ``shared_locality``: half their
+  shared accesses stay in a per-CTA window that overlaps between adjacent
+  CTAs — the inter-CTA locality a distributed CTA scheduler converts into
+  intra-core reuse (the Section VIII-A scheduler study).
+
+The classification lists below mirror the paper; the classification is
+*verified* (not assumed) by ``repro.experiments.fig01_motivation``, which
+measures replication ratio, miss rate and 16x-capacity speedup and applies
+the paper's rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.profile import AppProfile
+
+
+def _ctas(slots: int, per_core: float = 1.5, cores: int = 80) -> int:
+    """CTA count giving full occupancy plus ``per_core`` refills."""
+    return int(slots * cores * per_core)
+
+
+_PROFILES: List[AppProfile] = [
+    # ------------------------- replication-sensitive -------------------------
+    AppProfile(
+        name="T-AlexNet", suite="Tango",
+        num_ctas=_ctas(12), accesses_per_cta=96, wavefront_slots=12, compute_gap=2.0,
+        shared_lines=400, shared_fraction=0.97, shared_locality=0.5, private_lines=256,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="T-ResNet", suite="Tango",
+        num_ctas=_ctas(12), accesses_per_cta=96, wavefront_slots=12, compute_gap=2.0,
+        shared_lines=520, shared_fraction=0.96, shared_locality=0.5, private_lines=256,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="T-SqueezeNet", suite="Tango",
+        num_ctas=_ctas(10), accesses_per_cta=96, wavefront_slots=10, compute_gap=2.0,
+        shared_lines=360, shared_fraction=0.95, shared_locality=0.5, private_lines=256,
+        block_lines=6, block_repeats=1,
+    ),
+    AppProfile(
+        name="T-CifarNet", suite="Tango",
+        num_ctas=_ctas(10), accesses_per_cta=88, wavefront_slots=10, compute_gap=3.0,
+        shared_lines=300, shared_fraction=0.90, shared_locality=0.5, private_lines=256,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="T-GRU", suite="Tango",
+        num_ctas=_ctas(8), accesses_per_cta=96, wavefront_slots=8, compute_gap=3.0,
+        shared_lines=440, shared_fraction=0.88, shared_locality=0.5, private_lines=256,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="T-LSTM", suite="Tango",
+        num_ctas=_ctas(8), accesses_per_cta=96, wavefront_slots=8, compute_gap=3.0,
+        shared_lines=480, shared_fraction=0.86, shared_locality=0.5, private_lines=256,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="C-BFS", suite="CUDA-SDK",
+        num_ctas=_ctas(8), accesses_per_cta=128, wavefront_slots=8, compute_gap=4.0,
+        shared_lines=350, shared_fraction=0.70, shared_locality=0.5, private_lines=512,
+        block_lines=4, block_repeats=1, store_fraction=0.10,
+    ),
+    AppProfile(
+        name="S-Reduction", suite="SHOC",
+        num_ctas=_ctas(12), accesses_per_cta=112, wavefront_slots=12, compute_gap=3.0,
+        shared_lines=1600, shared_fraction=0.85, private_lines=256,
+        block_lines=8, block_repeats=1, store_fraction=0.05,
+    ),
+    AppProfile(
+        name="P-SYRK", suite="PolyBench",
+        num_ctas=_ctas(10), accesses_per_cta=128, wavefront_slots=10, compute_gap=3.0,
+        shared_lines=1300, shared_fraction=0.85, private_lines=256,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="P-2MM", suite="PolyBench",
+        num_ctas=_ctas(8), accesses_per_cta=96, wavefront_slots=8, compute_gap=3.0,
+        shared_lines=400, shared_fraction=0.85, private_lines=256,
+        block_lines=8, block_repeats=1,
+        camp_fraction=0.70, camp_width=8, camp_shared=True,
+    ),
+    AppProfile(
+        name="P-3DCONV", suite="PolyBench",
+        num_ctas=_ctas(12), accesses_per_cta=80, wavefront_slots=12, compute_gap=1.0, mlp=4,
+        request_bytes=128,
+        shared_lines=420, shared_fraction=0.65, private_lines=128,
+        block_lines=8, block_repeats=1,
+    ),
+    AppProfile(
+        name="P-ATAX", suite="PolyBench",
+        num_ctas=_ctas(8), accesses_per_cta=96, wavefront_slots=8, compute_gap=4.0,
+        shared_lines=420, shared_fraction=0.78, shared_locality=0.5, private_lines=384,
+        block_lines=6, block_repeats=1,
+    ),
+    # ------------------------ replication-insensitive ------------------------
+    AppProfile(
+        name="C-BLK", suite="CUDA-SDK",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=4.0,
+        shared_fraction=0.0, private_lines=120,
+        block_lines=12, block_repeats=8,
+    ),
+    AppProfile(
+        name="C-RAY", suite="CUDA-SDK",
+        num_ctas=_ctas(6), accesses_per_cta=64, wavefront_slots=6, compute_gap=3.0,
+        shared_fraction=0.0, private_lines=240,
+        block_lines=16, block_repeats=10,
+        camp_fraction=0.70, camp_width=8, camp_shared=False,
+    ),
+    AppProfile(
+        name="C-NN", suite="CUDA-SDK",
+        num_ctas=_ctas(2), accesses_per_cta=160, wavefront_slots=2, compute_gap=2.0, mlp=1,
+        shared_lines=400, shared_fraction=0.15, private_lines=56,
+        block_lines=8, block_repeats=10,
+    ),
+    AppProfile(
+        name="C-SCAN", suite="CUDA-SDK",
+        num_ctas=_ctas(16), accesses_per_cta=32, wavefront_slots=16, compute_gap=2.0,
+        shared_fraction=0.0, private_lines=2048,
+        block_lines=32, block_repeats=1, store_fraction=0.15,
+    ),
+    AppProfile(
+        name="C-SP", suite="CUDA-SDK",
+        num_ctas=_ctas(12), accesses_per_cta=40, wavefront_slots=12, compute_gap=3.0,
+        shared_lines=600, shared_fraction=0.10, private_lines=1024,
+        block_lines=16, block_repeats=1, store_fraction=0.30,
+    ),
+    AppProfile(
+        name="R-LUD", suite="Rodinia",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=4.0,
+        shared_lines=700, shared_fraction=0.12, private_lines=100,
+        block_lines=10, block_repeats=6,
+    ),
+    AppProfile(
+        name="R-SC", suite="Rodinia",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=3.0,
+        shared_lines=1200, shared_fraction=0.25, private_lines=256,
+        block_lines=8, block_repeats=3, imbalance=0.6,
+    ),
+    AppProfile(
+        name="R-HS", suite="Rodinia",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=4.0,
+        shared_lines=300, shared_fraction=0.05,
+        neighbor_lines=96, neighbor_fraction=0.45, private_lines=128,
+        block_lines=8, block_repeats=4,
+    ),
+    AppProfile(
+        name="R-NW", suite="Rodinia",
+        num_ctas=_ctas(6), accesses_per_cta=64, wavefront_slots=6, compute_gap=5.0,
+        shared_fraction=0.0,
+        neighbor_lines=64, neighbor_fraction=0.30, private_lines=512,
+        block_lines=8, block_repeats=2,
+    ),
+    AppProfile(
+        name="R-PF", suite="Rodinia",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=4.0,
+        shared_lines=500, shared_fraction=0.10,
+        neighbor_lines=80, neighbor_fraction=0.35, private_lines=256,
+        block_lines=6, block_repeats=3,
+    ),
+    AppProfile(
+        name="S-FFT", suite="SHOC",
+        num_ctas=_ctas(12), accesses_per_cta=40, wavefront_slots=12, compute_gap=2.0,
+        shared_lines=800, shared_fraction=0.10, private_lines=1536,
+        block_lines=16, block_repeats=1, store_fraction=0.20,
+    ),
+    AppProfile(
+        name="S-MD", suite="SHOC",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=3.0,
+        shared_lines=1400, shared_fraction=0.30, private_lines=200,
+        block_lines=12, block_repeats=4,
+    ),
+    AppProfile(
+        name="S-SPMV", suite="SHOC",
+        num_ctas=_ctas(12), accesses_per_cta=40, wavefront_slots=12, compute_gap=2.0,
+        shared_lines=16000, shared_fraction=0.45, private_lines=512,
+        block_lines=4, block_repeats=1,
+    ),
+    AppProfile(
+        name="P-2DCONV", suite="PolyBench",
+        num_ctas=_ctas(8), accesses_per_cta=64, wavefront_slots=8, compute_gap=1.0, mlp=4,
+        request_bytes=64,
+        shared_fraction=0.0, private_lines=96,
+        block_lines=12, block_repeats=8,
+    ),
+    AppProfile(
+        name="P-3MM", suite="PolyBench",
+        num_ctas=_ctas(8), accesses_per_cta=48, wavefront_slots=8, compute_gap=2.0,
+        request_bytes=64,
+        shared_fraction=0.0, private_lines=288,
+        block_lines=12, block_repeats=8,
+        camp_fraction=0.60, camp_width=8, camp_shared=False,
+    ),
+    AppProfile(
+        name="P-GEMM", suite="PolyBench",
+        num_ctas=_ctas(10), accesses_per_cta=44, wavefront_slots=10, compute_gap=2.0,
+        request_bytes=64,
+        shared_fraction=0.0, private_lines=256,
+        block_lines=8, block_repeats=8,
+        camp_fraction=0.60, camp_width=8, camp_shared=False,
+    ),
+]
+
+_BY_NAME: Dict[str, AppProfile] = {p.name: p for p in _PROFILES}
+
+APP_NAMES: List[str] = [p.name for p in _PROFILES]
+
+#: The paper's 12 replication-sensitive applications (Figure 1's blue boxes).
+REPLICATION_SENSITIVE: List[str] = [
+    "T-AlexNet", "T-ResNet", "T-SqueezeNet", "T-CifarNet", "T-GRU", "T-LSTM",
+    "C-BFS", "S-Reduction", "P-SYRK", "P-2MM", "P-3DCONV", "P-ATAX",
+]
+
+#: The five replication-insensitive applications that suffer most under Sh40
+#: (Figure 9 / Figure 13a).
+POOR_PERFORMING: List[str] = ["C-NN", "C-RAY", "P-3MM", "P-GEMM", "P-2DCONV"]
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up an application profile by its paper name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; see APP_NAMES") from None
+
+
+def all_apps() -> List[AppProfile]:
+    """All 28 application profiles, in suite order."""
+    return list(_PROFILES)
+
+
+def replication_sensitive_apps() -> List[AppProfile]:
+    return [_BY_NAME[n] for n in REPLICATION_SENSITIVE]
+
+
+def replication_insensitive_apps() -> List[AppProfile]:
+    return [p for p in _PROFILES if p.name not in REPLICATION_SENSITIVE]

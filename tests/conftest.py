@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Unit tests use a *tiny* platform (16 cores, 8 L2 slices, 4 channels) and
+small custom profiles so each simulation runs in milliseconds; integration
+tests that exercise the calibrated 28-app suite run it at a small scale
+and assert only coarse, scale-robust invariants (orderings and directions,
+not calibrated magnitudes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import GPUConfig, SimConfig
+from repro.workloads.profile import AppProfile
+
+
+@pytest.fixture
+def tiny_gpu() -> GPUConfig:
+    """A 16-core platform: fast to simulate, same structure as the paper's."""
+    return GPUConfig(num_cores=16, num_l2_slices=8, num_channels=4)
+
+
+@pytest.fixture
+def tiny_config(tiny_gpu) -> SimConfig:
+    return SimConfig(gpu=tiny_gpu, scale=1.0)
+
+
+@pytest.fixture
+def shared_profile() -> AppProfile:
+    """A small replication-heavy workload (Tango-like)."""
+    return AppProfile(
+        name="unit-shared",
+        num_ctas=96,
+        accesses_per_cta=64,
+        wavefront_slots=4,
+        compute_gap=2.0,
+        mlp=2,
+        shared_lines=200,
+        shared_fraction=0.9,
+        private_lines=64,
+        block_lines=8,
+        block_repeats=1,
+    )
+
+
+@pytest.fixture
+def private_profile() -> AppProfile:
+    """A small private-data workload with high reuse (no replication)."""
+    return AppProfile(
+        name="unit-private",
+        num_ctas=64,
+        accesses_per_cta=64,
+        wavefront_slots=4,
+        compute_gap=3.0,
+        mlp=2,
+        shared_fraction=0.0,
+        private_lines=96,
+        block_lines=8,
+        block_repeats=6,
+    )
+
+
+@pytest.fixture
+def streaming_profile() -> AppProfile:
+    """A small streaming workload (no reuse at all)."""
+    return AppProfile(
+        name="unit-streaming",
+        num_ctas=64,
+        accesses_per_cta=48,
+        wavefront_slots=8,
+        compute_gap=2.0,
+        mlp=3,
+        shared_fraction=0.0,
+        private_lines=1024,
+        block_lines=16,
+        block_repeats=1,
+        store_fraction=0.2,
+    )

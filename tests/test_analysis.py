@@ -1,0 +1,118 @@
+"""Unit tests for classification, metrics and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.classify import classify, is_replication_sensitive
+from repro.analysis.metrics import (
+    amean,
+    geomean,
+    normalize,
+    reduction,
+    s_curve,
+    weighted_amean,
+)
+from repro.analysis.tables import format_dict_table, format_table, percent, ratio
+from repro.sim.results import SimResult
+
+
+class TestClassify:
+    def test_rule_requires_all_three(self):
+        assert is_replication_sensitive(0.3, 0.6, 1.10)
+        assert not is_replication_sensitive(0.2, 0.6, 1.10)  # low replication
+        assert not is_replication_sensitive(0.3, 0.4, 1.10)  # low miss rate
+        assert not is_replication_sensitive(0.3, 0.6, 1.02)  # capacity-insensitive
+
+    def test_thresholds_are_strict(self):
+        assert not is_replication_sensitive(0.25, 0.6, 1.1)
+        assert not is_replication_sensitive(0.3, 0.5, 1.1)
+        assert not is_replication_sensitive(0.3, 0.6, 1.05)
+
+    def _result(self, app="a", cycles=100.0, hits=20, misses=80, repl=40):
+        r = SimResult(app=app)
+        r.cycles = cycles
+        r.instructions = 1000
+        r.l1.load_hits = hits
+        r.l1.load_misses = misses
+        r.l1.replicated_misses = repl
+        r.replication_ratio = repl / misses
+        return r
+
+    def test_classify_from_runs(self):
+        base = self._result()
+        big = self._result(cycles=50.0)
+        row = classify(base, big)
+        assert row.speedup_16x == pytest.approx(2.0)
+        assert row.replication_sensitive
+
+    def test_classify_rejects_mismatched_apps(self):
+        with pytest.raises(ValueError):
+            classify(self._result("a"), self._result("b"))
+
+
+class TestMetrics:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.0]) == 1.0
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_amean(self):
+        assert amean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            amean([])
+
+    def test_normalize(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ZeroDivisionError):
+            normalize({"a": 0.0, "b": 1.0}, "a")
+
+    def test_s_curve_sorted_with_stable_ties(self):
+        curve = s_curve({"x": 2.0, "y": 1.0, "z": 1.0})
+        assert curve == [("y", 1.0), ("z", 1.0), ("x", 2.0)]
+
+    def test_reduction(self):
+        assert reduction(20.0, 100.0) == pytest.approx(0.8)
+        assert reduction(5.0, 0.0) == 0.0
+
+    def test_weighted_amean(self):
+        assert weighted_amean([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            weighted_amean([])
+        with pytest.raises(ValueError):
+            weighted_amean([(1.0, 0.0)])
+
+    def test_geomean_matches_log_definition(self):
+        vals = [0.5, 1.5, 3.2]
+        expected = math.exp(sum(math.log(v) for v in vals) / 3)
+        assert geomean(vals) == pytest.approx(expected)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["a", 1.5], ["bb", 2.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in l for l in lines[1:] if "-+-" not in l)
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_dict_table_column_order(self):
+        out = format_dict_table([{"b": 2, "a": 1}], ["a", "b"])
+        header = out.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_bool_and_missing_cells(self):
+        out = format_dict_table([{"a": True}], ["a", "b"])
+        assert "yes" in out
+
+    def test_percent_and_ratio(self):
+        assert percent(0.256) == "25.6%"
+        assert ratio(1.5) == "1.50x"

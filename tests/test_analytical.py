@@ -1,0 +1,103 @@
+"""Tests for the closed-form bottleneck model, including cross-validation
+of the simulator against its analytical ceilings."""
+
+import pytest
+
+from repro.analysis.analytical import (
+    measured_rate,
+    throughput_bounds,
+    validate_against,
+)
+from repro.core.designs import DesignSpec
+from repro.sim.config import GPUConfig, SimConfig
+from repro.sim.system import simulate
+from repro.workloads.profile import AppProfile
+from repro.workloads.suite import get_app
+
+
+class TestBounds:
+    def prof(self, **kw):
+        defaults = dict(name="b", compute_gap=4.0, wavefront_slots=8, mlp=3,
+                        request_bytes=32, shared_lines=100, shared_fraction=0.5)
+        defaults.update(kw)
+        return AppProfile(**defaults)
+
+    def test_issue_bound(self):
+        b = throughput_bounds(DesignSpec.baseline(), self.prof())
+        assert b.issue == pytest.approx(80 / 5.0)
+
+    def test_baseline_l1_ports(self):
+        b = throughput_bounds(DesignSpec.baseline(), self.prof())
+        assert b.l1_ports == 80.0
+
+    def test_dcl1_ports_follow_table1(self):
+        # Pr40, 32B requests: 32B x 40 per cycle / 32B per access = 40/cycle.
+        b = throughput_bounds(DesignSpec.private(40), self.prof())
+        assert b.l1_ports == pytest.approx(40.0)
+        # Boost doubles it.
+        b2 = throughput_bounds(DesignSpec.clustered(40, 10, boost=2.0), self.prof())
+        assert b2.l1_ports == pytest.approx(80.0)
+        # 128B requests quarter it.
+        b3 = throughput_bounds(
+            DesignSpec.private(40), self.prof(request_bytes=128)
+        )
+        assert b3.l1_ports == pytest.approx(10.0)
+
+    def test_miss_rates_scale_memory_bounds(self):
+        full = throughput_bounds(DesignSpec.baseline(), self.prof(),
+                                 l1_miss_rate=1.0, l2_miss_rate=1.0)
+        filtered = throughput_bounds(DesignSpec.baseline(), self.prof(),
+                                     l1_miss_rate=0.1, l2_miss_rate=1.0)
+        assert filtered.l2_service == pytest.approx(full.l2_service * 10)
+        assert filtered.dram == pytest.approx(full.dram * 10)
+
+    def test_latency_bound_from_littles_law(self):
+        b = throughput_bounds(DesignSpec.baseline(), self.prof(), round_trip=100.0)
+        assert b.latency == pytest.approx(80 * 8 * 3 / 100.0)
+        b2 = throughput_bounds(DesignSpec.baseline(), self.prof())
+        assert b2.latency == float("inf")
+
+    def test_binding_resource_name(self):
+        b = throughput_bounds(DesignSpec.baseline(), self.prof(),
+                              l1_miss_rate=1.0, l2_miss_rate=1.0)
+        assert b.binding == "dram"  # 16*4/16 / 1 = 4/cycle is the floor
+        assert b.tightest == pytest.approx(4.0)
+
+    def test_invalid_miss_rates(self):
+        with pytest.raises(ValueError):
+            throughput_bounds(DesignSpec.baseline(), self.prof(), l1_miss_rate=1.5)
+
+
+class TestCrossValidation:
+    """The simulator must respect its analytical ceilings."""
+
+    @pytest.mark.parametrize("design", [
+        DesignSpec.baseline(),
+        DesignSpec.private(8),
+        DesignSpec.shared(8),
+        DesignSpec.clustered(8, 4, boost=2.0),
+    ], ids=lambda d: d.label)
+    def test_tiny_platform_within_bounds(self, design, tiny_gpu, shared_profile):
+        res = simulate(shared_profile, design, SimConfig(gpu=tiny_gpu))
+        check = validate_against(res, design, shared_profile, gpu=tiny_gpu)
+        assert check["within_tolerance"] == 1.0, check
+
+    def test_full_platform_apps_within_bounds(self):
+        cfg = SimConfig(scale=0.2)
+        for app in ("T-AlexNet", "P-2DCONV", "C-SCAN"):
+            prof = get_app(app)
+            for design in (DesignSpec.baseline(),
+                           DesignSpec.clustered(40, 10, boost=2.0)):
+                res = simulate(prof, design, cfg)
+                check = validate_against(res, design, prof, gpu=GPUConfig())
+                assert check["within_tolerance"] == 1.0, (app, design.label, check)
+
+    def test_measured_rate(self):
+        from repro.sim.results import SimResult
+
+        r = SimResult()
+        r.cycles = 100.0
+        r.loads, r.stores = 150, 50
+        assert measured_rate(r) == 2.0
+        r.cycles = 0.0
+        assert measured_rate(r) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the streaming-bypass filter and its system integration."""
+
+import pytest
+
+from repro.cache.bypass import StreamingBypassFilter
+from repro.core.designs import DesignSpec
+from repro.sim.config import SimConfig
+from repro.sim.system import simulate
+from repro.workloads.profile import AppProfile
+
+
+class TestFilterMechanics:
+    def test_learns_streaming_and_bypasses(self):
+        f = StreamingBypassFilter(threshold=0.8, window=64, sample_every=16)
+        # A pure stream: every line installed, evicted dead.
+        for line in range(200):
+            f.should_install()
+            f.on_install(line)
+            f.on_evict(line)
+        assert f.dead_rate == 1.0
+        assert f.bypassing
+        decisions = [f.should_install() for _ in range(32)]
+        assert decisions.count(False) >= 28  # nearly all bypassed
+        assert decisions.count(True) >= 1  # but sampling keeps learning
+
+    def test_reuse_keeps_installing(self):
+        f = StreamingBypassFilter(window=64)
+        for line in range(200):
+            f.should_install()
+            f.on_install(line)
+            f.on_hit(line)  # reused before eviction
+            f.on_evict(line)
+        assert f.dead_rate == 0.0
+        assert not f.bypassing
+        assert all(f.should_install() for _ in range(32))
+
+    def test_recovers_when_pattern_changes(self):
+        f = StreamingBypassFilter(threshold=0.8, window=32, sample_every=4)
+        for line in range(100):  # streaming phase
+            f.on_install(line)
+            f.on_evict(line)
+        assert f.bypassing
+        for line in range(100, 200):  # reuse phase
+            f.on_install(line)
+            f.on_hit(line)
+            f.on_evict(line)
+        assert not f.bypassing
+
+    def test_cold_filter_installs(self):
+        f = StreamingBypassFilter()
+        assert f.should_install()
+        assert f.dead_rate == 0.0
+
+    def test_eviction_of_unknown_line_counts_clean(self):
+        f = StreamingBypassFilter(window=8)
+        f.on_evict(42)  # never installed via the filter
+        assert f.dead_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingBypassFilter(threshold=0.0)
+        with pytest.raises(ValueError):
+            StreamingBypassFilter(window=4)
+        with pytest.raises(ValueError):
+            StreamingBypassFilter(sample_every=1)
+
+
+class TestSystemIntegration:
+    def test_streaming_app_triggers_bypass(self, tiny_gpu):
+        # Long enough for each L1's filter to warm past its window.
+        prof = AppProfile(
+            name="long-stream", num_ctas=128, accesses_per_cta=128,
+            wavefront_slots=8, mlp=3, compute_gap=2.0,
+            shared_fraction=0.0, private_lines=4096,
+            block_lines=32, block_repeats=1,
+        )
+        cfg = SimConfig(gpu=tiny_gpu, l1_bypass=True)
+        res = simulate(prof, DesignSpec.baseline(), cfg)
+        assert res.bypassed_fills > 0
+
+    def test_reuse_app_barely_bypasses(self, tiny_gpu, private_profile):
+        cfg = SimConfig(gpu=tiny_gpu, l1_bypass=True)
+        res = simulate(private_profile, DesignSpec.baseline(), cfg)
+        assert res.bypassed_fills < res.loads * 0.1
+
+    def test_disabled_by_default(self, tiny_gpu, streaming_profile):
+        res = simulate(streaming_profile, DesignSpec.baseline(), SimConfig(gpu=tiny_gpu))
+        assert res.bypassed_fills == 0
+
+    def test_bypass_protects_reusable_set_in_mixed_workload(self, tiny_gpu):
+        """Streaming pollution + a hot reusable set: bypass must not lose
+        throughput, and should reduce misses on the hot set."""
+        prof = AppProfile(
+            name="mixed", num_ctas=64, accesses_per_cta=96,
+            wavefront_slots=4, mlp=2, compute_gap=2.0,
+            shared_lines=48, shared_fraction=0.5,  # hot reusable set
+            private_lines=4096, block_lines=16, block_repeats=1,  # stream
+        )
+        off = simulate(prof, DesignSpec.baseline(), SimConfig(gpu=tiny_gpu))
+        on = simulate(prof, DesignSpec.baseline(),
+                      SimConfig(gpu=tiny_gpu, l1_bypass=True))
+        assert on.bypassed_fills > 0
+        assert on.l1_miss_rate <= off.l1_miss_rate + 0.02
+
+    def test_dcl1_designs_accept_bypass(self, tiny_gpu, streaming_profile):
+        cfg = SimConfig(gpu=tiny_gpu, l1_bypass=True)
+        res = simulate(streaming_profile, DesignSpec.clustered(8, 4), cfg)
+        assert res.total_requests == streaming_profile.total_accesses
+
+    def test_audit_clean_with_bypass(self, tiny_gpu, streaming_profile):
+        from repro.sim.system import GPUSystem
+        from repro.sim.validation import audit
+
+        system = GPUSystem(streaming_profile, DesignSpec.shared(8),
+                           SimConfig(gpu=tiny_gpu, l1_bypass=True))
+        system.run()
+        assert audit(system) == []

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_design
+from repro.core.designs import DesignKind
+
+
+class TestParseDesign:
+    def test_named_labels(self):
+        assert parse_design("Baseline").kind == DesignKind.BASELINE
+        assert parse_design("Pr40").label == "Pr40"
+        assert parse_design("sh40+c10+boost").noc1_freq_mult == 2.0
+        assert parse_design("CDXBar").kind == DesignKind.CDXBAR
+        assert parse_design("SingleL1").kind == DesignKind.SINGLE_L1
+
+    def test_constructor_strings(self):
+        spec = parse_design("clustered:40:10:2")
+        assert spec.num_dcl1 == 40
+        assert spec.num_clusters == 10
+        assert spec.noc1_freq_mult == 2.0
+        assert parse_design("private:20").label == "Pr20"
+        assert parse_design("shared:40").label == "Sh40"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_design("mesh")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_design("clustered:40")  # missing Z
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "C-BLK", "--design", "Pr40", "--scale", "0.1"]
+        )
+        assert args.app == "C-BLK"
+        assert args.design[0].label == "Pr40"
+        assert args.scale == 0.1
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "Z-Nope"])
+
+
+class TestCommands:
+    def test_figures_list(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "tab1" in out
+
+    def test_figures_unknown_id(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+    def test_figures_analytical(self, capsys):
+        assert main(["figures", "tab1", "--scale", "0.05"]) == 0
+        assert "peak_bw" in capsys.readouterr().out
+
+    def test_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "C-BLK", "--design", "clustered:40:10:2", "--scale", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "Sh40+C10" in out
+
+    def test_simulate_default_design(self, capsys):
+        assert main(["simulate", "C-NN", "--scale", "0.05"]) == 0
+        assert "Boost" in capsys.readouterr().out
+
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep", "C-NN", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr40" in out and "Sh40+C10" in out
+
+    def test_python_dash_m_entry(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "figures", "--list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fig14" in proc.stdout

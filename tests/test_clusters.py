@@ -1,0 +1,106 @@
+"""Unit tests for cluster geometry."""
+
+import pytest
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.designs import DesignSpec
+
+
+def geo(y=40, z=10, cores=80, l2=32):
+    return ClusterGeometry(cores, y, z, l2)
+
+
+class TestShape:
+    def test_sh40_c10(self):
+        g = geo()
+        assert g.cores_per_cluster == 8
+        assert g.dcl1_per_cluster == 4
+        assert g.home_bits == 2
+        assert g.max_replicas == 10
+
+    def test_pr40_endpoint(self):
+        g = geo(40, 40)
+        assert g.cores_per_cluster == 2
+        assert g.dcl1_per_cluster == 1
+        assert g.home_bits == 0
+
+    def test_sh40_endpoint(self):
+        g = geo(40, 1)
+        assert g.cores_per_cluster == 80
+        assert g.dcl1_per_cluster == 40
+        assert g.home_bits == 6  # ceil(log2(40))
+
+    def test_from_design(self):
+        g = ClusterGeometry.from_design(DesignSpec.clustered(40, 10), 80, 32)
+        assert g.num_clusters == 10
+        g1 = ClusterGeometry.from_design(DesignSpec.single_l1(), 80, 32)
+        assert g1.num_dcl1 == 1
+        with pytest.raises(ValueError):
+            ClusterGeometry.from_design(DesignSpec.baseline(), 80, 32)
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            ClusterGeometry(80, 40, 7, 32)
+        with pytest.raises(ValueError):
+            ClusterGeometry(81, 40, 10, 32)
+
+
+class TestMembership:
+    def test_cluster_of_core_contiguous(self):
+        g = geo()
+        assert g.cluster_of_core(0) == 0
+        assert g.cluster_of_core(7) == 0
+        assert g.cluster_of_core(8) == 1
+        assert g.cluster_of_core(79) == 9
+
+    def test_cluster_of_dcl1(self):
+        g = geo()
+        assert g.cluster_of_dcl1(0) == 0
+        assert g.cluster_of_dcl1(4) == 1
+        assert g.cluster_of_dcl1(39) == 9
+
+    def test_ranges(self):
+        g = geo()
+        assert list(g.dcl1s_of_cluster(1)) == [4, 5, 6, 7]
+        assert list(g.cores_of_cluster(9)) == list(range(72, 80))
+
+    def test_port_indices(self):
+        g = geo()
+        assert g.core_port_in_cluster(9) == 1
+        assert g.dcl1_port_in_cluster(6) == 2
+
+    def test_range_of_dcl1(self):
+        g = geo()
+        assert g.dcl1_range_of(0) == 0
+        assert g.dcl1_range_of(7) == 3
+        assert g.dcl1_range_of(4) == 0  # same range, next cluster
+
+
+class TestNoC2Partitioning:
+    def test_clustered_is_partitioned(self):
+        g = geo()  # M=4 divides 32
+        assert g.noc2_partitioned
+        assert g.l2_per_range == 8
+        assert g.noc2_shapes() == [(4, 10, 8)]
+
+    def test_sh40_falls_back_to_full_crossbar(self):
+        g = geo(40, 1)  # M=40 > 32
+        assert not g.noc2_partitioned
+        assert g.noc2_shapes() == [(1, 40, 32)]
+
+    def test_private_uses_full_crossbar(self):
+        g = geo(40, 40)  # M=1
+        assert not g.noc2_partitioned
+        assert g.noc2_shapes() == [(1, 40, 32)]
+
+    def test_noc1_shapes(self):
+        assert geo().noc1_shapes() == [(10, 8, 4)]
+        assert geo(40, 40).noc1_shapes() == [(40, 2, 1)]
+        assert geo(40, 1).noc1_shapes() == [(1, 80, 40)]
+
+    def test_120_core_system(self):
+        g = ClusterGeometry(120, 60, 10, 48)
+        assert g.cores_per_cluster == 12
+        assert g.dcl1_per_cluster == 6
+        assert g.noc2_partitioned
+        assert g.l2_per_range == 8

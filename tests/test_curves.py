@@ -1,0 +1,51 @@
+"""Tests for the ASCII curve renderer."""
+
+import pytest
+
+from repro.analysis.curves import ascii_curve, ascii_s_curves
+
+
+class TestAsciiCurve:
+    def test_basic_shape(self):
+        out = ascii_curve([0.0, 0.5, 1.0], height=3)
+        lines = out.splitlines()
+        assert len(lines) == 4  # 3 rows + axis
+        assert lines[0].endswith("  *")   # max at the right
+        assert lines[2].endswith("|*  ")  # min at the left
+
+    def test_marker_count_matches_points(self):
+        out = ascii_curve(list(range(10)), height=5)
+        assert sum(line.count("*") for line in out.splitlines()) == 10
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        out = ascii_curve([2.0, 2.0, 2.0], height=4)
+        assert "*" in out
+
+    def test_explicit_bounds_clamp(self):
+        out = ascii_curve([-5.0, 0.5, 99.0], height=4, y_min=0.0, y_max=1.0)
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_curve([])
+        with pytest.raises(ValueError):
+            ascii_curve([1.0], height=1)
+
+
+class TestAsciiSCurves:
+    def test_legend_and_markers(self):
+        out = ascii_s_curves({"a": [0.0, 1.0], "b": [1.0, 0.0]}, height=4)
+        assert "legend: * a, o b" in out
+        assert "*" in out and "o" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_s_curves({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_too_many_series(self):
+        with pytest.raises(ValueError):
+            ascii_s_curves({str(i): [0.0, 1.0] for i in range(9)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_s_curves({})

@@ -1,0 +1,93 @@
+"""Unit tests for design specifications."""
+
+import pytest
+
+from repro.core.designs import DesignKind, DesignSpec
+
+
+class TestConstructors:
+    def test_baseline(self):
+        spec = DesignSpec.baseline()
+        assert spec.kind == DesignKind.BASELINE
+        assert not spec.is_decoupled
+        assert spec.label == "Baseline"
+
+    def test_private_normalizes_to_clustered_form(self):
+        spec = DesignSpec.private(40)
+        assert spec.kind == DesignKind.DCL1
+        assert spec.num_dcl1 == 40
+        assert spec.num_clusters == 40
+        assert spec.is_private
+        assert not spec.is_fully_shared
+        assert spec.label == "Pr40"
+
+    def test_shared(self):
+        spec = DesignSpec.shared(40)
+        assert spec.num_clusters == 1
+        assert spec.is_fully_shared
+        assert not spec.is_private
+        assert spec.label == "Sh40"
+
+    def test_clustered_label_and_boost(self):
+        spec = DesignSpec.clustered(40, 10)
+        assert spec.label == "Sh40+C10"
+        boosted = DesignSpec.clustered(40, 10, boost=2.0)
+        assert boosted.label == "Sh40+C10+Boost"
+        assert boosted.noc1_freq_mult == 2.0
+        assert boosted.boosted
+
+    def test_clustered_endpoints_match_private_and_shared(self):
+        assert DesignSpec.clustered(40, 40).is_private
+        assert DesignSpec.clustered(40, 1).is_fully_shared
+
+    def test_cdxbar_labels(self):
+        assert DesignSpec.cdxbar().label == "CDXBar"
+        assert DesignSpec.cdxbar(noc1_freq_mult=2.0).label == "CDXBar+2xNoC1"
+        assert DesignSpec.cdxbar(2.0, 2.0).label == "CDXBar+2xNoC"
+
+    def test_single_l1(self):
+        spec = DesignSpec.single_l1()
+        assert spec.kind == DesignKind.SINGLE_L1
+        assert spec.is_decoupled
+        assert spec.num_dcl1 == 1
+
+
+class TestValidation:
+    def test_cluster_count_must_divide(self):
+        with pytest.raises(ValueError):
+            DesignSpec.clustered(40, 7)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            DesignSpec.private(0)
+        with pytest.raises(ValueError):
+            DesignSpec.shared(-1)
+        with pytest.raises(ValueError):
+            DesignSpec.clustered(40, 0)
+
+
+class TestDerivedOps:
+    def test_with_boost(self):
+        spec = DesignSpec.clustered(40, 10).with_boost()
+        assert spec.noc1_freq_mult == 2.0
+        assert "Boost" in spec.label
+        # Idempotent label
+        again = spec.with_boost(2.0)
+        assert again.label.count("Boost") == 1
+
+    def test_with_perfect_l1(self):
+        spec = DesignSpec.private(40).with_perfect_l1()
+        assert spec.perfect_l1
+        assert "Perfect" in spec.label
+
+    def test_specs_are_hashable_and_frozen(self):
+        a = DesignSpec.private(40)
+        b = DesignSpec.private(40)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        with pytest.raises(AttributeError):
+            a.num_dcl1 = 20
+
+    def test_str(self):
+        assert str(DesignSpec.shared(40)) == "Sh40"

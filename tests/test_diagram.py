@@ -1,0 +1,42 @@
+"""Tests for the topology diagram renderer."""
+
+from repro.analysis.diagram import design_diagram
+from repro.core.designs import DesignSpec
+
+
+class TestDiagram:
+    def test_baseline_draws_private_l1s(self):
+        svg = design_diagram(DesignSpec.baseline(), 16, 8)
+        assert svg.startswith("<svg")
+        assert "cores+L1" in svg
+        assert "16x8 crossbar" in svg
+
+    def test_clustered_draws_ranges_and_clusters(self):
+        svg = design_diagram(DesignSpec.clustered(8, 4), 16, 8)
+        assert "lite cores" in svg
+        assert "DC-L1" in svg
+        assert "NoC#1 4x2" in svg
+        assert "NoC#2 4x4" in svg
+        assert "stroke-dasharray" in svg  # cluster outlines
+
+    def test_boost_annotated(self):
+        svg = design_diagram(DesignSpec.clustered(8, 4, boost=2.0), 16, 8)
+        assert "@2x" in svg
+
+    def test_sh40_uses_single_noc2_bus(self):
+        svg = design_diagram(DesignSpec.shared(40), 80, 32)
+        assert "NoC#2 40x32" in svg
+
+    def test_cdxbar_labelled(self):
+        svg = design_diagram(DesignSpec.cdxbar(), 80, 32)
+        assert "CDXBar stage 1" in svg
+
+    def test_box_counts_scale_with_platform(self):
+        small = design_diagram(DesignSpec.private(8), 16, 8)
+        large = design_diagram(DesignSpec.private(40), 80, 32)
+        assert large.count("<rect") > small.count("<rect")
+
+    def test_escapes_nothing_dangerous(self):
+        svg = design_diagram(DesignSpec.clustered(8, 2, label="a<b"), 16, 8)
+        assert "a<b" not in svg
+        assert "a&lt;b" in svg

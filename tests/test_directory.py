@@ -1,0 +1,90 @@
+"""Unit tests for the replication directory."""
+
+from repro.cache.directory import ReplicationDirectory
+
+
+class TestCopyTracking:
+    def test_install_and_copies(self):
+        d = ReplicationDirectory()
+        d.on_install(5, 0)
+        d.on_install(5, 1)
+        assert d.copies(5) == 2
+        assert d.copies(6) == 0
+
+    def test_duplicate_install_same_cache_idempotent_copies(self):
+        d = ReplicationDirectory()
+        d.on_install(5, 0)
+        d.on_install(5, 0)
+        assert d.copies(5) == 1
+
+    def test_evict_removes_holder(self):
+        d = ReplicationDirectory()
+        d.on_install(5, 0)
+        d.on_install(5, 1)
+        d.on_evict(5, 0)
+        assert d.copies(5) == 1
+        d.on_evict(5, 1)
+        assert d.copies(5) == 0
+        assert d.distinct_lines() == 0
+
+    def test_evict_unknown_is_noop(self):
+        d = ReplicationDirectory()
+        d.on_evict(5, 0)  # no crash
+        d.on_install(5, 0)
+        d.on_evict(5, 3)  # different holder: ignored
+        assert d.copies(5) == 1
+
+
+class TestHeldElsewhere:
+    def test_other_cache_counts(self):
+        d = ReplicationDirectory()
+        d.on_install(5, 0)
+        assert d.held_elsewhere(5, 1)
+        assert not d.held_elsewhere(5, 0)
+
+    def test_self_plus_other(self):
+        d = ReplicationDirectory()
+        d.on_install(5, 0)
+        d.on_install(5, 1)
+        assert d.held_elsewhere(5, 0)
+
+    def test_absent_line(self):
+        d = ReplicationDirectory()
+        assert not d.held_elsewhere(9, 0)
+
+    def test_holders_snapshot(self):
+        d = ReplicationDirectory()
+        d.on_install(5, 0)
+        d.on_install(5, 2)
+        assert d.holders(5) == frozenset({0, 2})
+        assert d.holders(6) == frozenset()
+
+
+class TestAggregates:
+    def test_total_copies_and_distinct_lines(self):
+        d = ReplicationDirectory()
+        d.on_install(1, 0)
+        d.on_install(1, 1)
+        d.on_install(2, 0)
+        assert d.distinct_lines() == 2
+        assert d.total_copies() == 3
+        assert d.mean_replicas_resident() == 1.5
+
+    def test_sampled_replicas_weighted_by_installs(self):
+        d = ReplicationDirectory()
+        d.on_install(1, 0)  # 1 copy at sample time
+        d.on_install(1, 1)  # 2 copies
+        d.on_install(1, 2)  # 3 copies
+        assert d.mean_replicas_sampled() == 2.0
+
+    def test_empty_directory_means(self):
+        d = ReplicationDirectory()
+        assert d.mean_replicas_sampled() == 0.0
+        assert d.mean_replicas_resident() == 0.0
+
+    def test_reset(self):
+        d = ReplicationDirectory()
+        d.on_install(1, 0)
+        d.reset()
+        assert d.distinct_lines() == 0
+        assert d.mean_replicas_sampled() == 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for the DSENT-like analytical NoC model."""
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.noc.dsent import (
+    CrossbarShape,
+    DsentModel,
+    design_inventory,
+    noc_area_mm2,
+    noc_static_power_w,
+)
+
+
+class TestAreaModel:
+    def test_bigger_crossbars_cost_more(self):
+        assert DsentModel.crossbar_area_units(80, 40) > DsentModel.crossbar_area_units(8, 4)
+
+    def test_direct_link_is_cheap(self):
+        assert DsentModel.crossbar_area_units(1, 1) < DsentModel.crossbar_area_units(2, 1)
+
+    def test_paper_area_targets(self):
+        """The calibrated model must land within a few points of every
+        relative area the paper reports (Figures 6 and 12)."""
+        base = noc_area_mm2(DesignSpec.baseline())
+        targets = {
+            DesignSpec.private(40): (0.72, 0.03),
+            DesignSpec.private(20): (0.46, 0.03),
+            DesignSpec.private(10): (0.33, 0.03),
+            DesignSpec.shared(40): (1.69, 0.08),
+            DesignSpec.clustered(40, 10): (0.50, 0.03),
+            DesignSpec.clustered(40, 5): (0.55, 0.03),
+            DesignSpec.clustered(40, 20): (0.55, 0.03),
+        }
+        for spec, (target, tol) in targets.items():
+            assert noc_area_mm2(spec) / base == pytest.approx(target, abs=tol), spec.label
+
+    def test_pr80_adds_insignificant_area(self):
+        base = noc_area_mm2(DesignSpec.baseline())
+        pr80 = noc_area_mm2(DesignSpec.private(80))
+        assert 1.0 < pr80 / base < 1.12
+
+
+class TestStaticPower:
+    def test_paper_static_targets(self):
+        base = noc_static_power_w(DesignSpec.baseline())
+        targets = {
+            DesignSpec.private(80): (1.01, 0.03),
+            DesignSpec.private(40): (0.96, 0.03),
+            DesignSpec.shared(40): (1.57, 0.08),
+            DesignSpec.clustered(40, 5): (0.85, 0.03),
+            DesignSpec.clustered(40, 10): (0.84, 0.03),
+            DesignSpec.clustered(40, 20): (0.86, 0.03),
+        }
+        for spec, (target, tol) in targets.items():
+            measured = noc_static_power_w(spec) / base
+            assert measured == pytest.approx(target, abs=tol), spec.label
+
+    def test_deeper_aggregation_saves_more_than_pr40(self):
+        base = noc_static_power_w(DesignSpec.baseline())
+        pr40 = noc_static_power_w(DesignSpec.private(40)) / base
+        pr20 = noc_static_power_w(DesignSpec.private(20)) / base
+        pr10 = noc_static_power_w(DesignSpec.private(10)) / base
+        assert pr10 < pr20 < pr40 < 1.0
+
+
+class TestFrequency:
+    def test_small_crossbars_clock_higher(self):
+        assert DsentModel.max_frequency_ghz(2, 1) > DsentModel.max_frequency_ghz(8, 4)
+        assert DsentModel.max_frequency_ghz(8, 4) > DsentModel.max_frequency_ghz(80, 40)
+
+    def test_boost_feasibility_matches_paper(self):
+        # 80x32 cannot run 2x the 700 MHz NoC clock; 8x4 can (Fig 13b).
+        assert not DsentModel.supports_frequency(80, 32, 1.4)
+        assert not DsentModel.supports_frequency(80, 40, 1.4)
+        assert DsentModel.supports_frequency(8, 4, 1.4)
+        assert DsentModel.supports_frequency(2, 1, 1.4)
+
+    def test_baseline_clock_is_feasible(self):
+        assert DsentModel.supports_frequency(80, 32, 0.7)
+        assert DsentModel.supports_frequency(80, 40, 0.7)
+
+
+class TestInventory:
+    def test_baseline_inventory(self):
+        inv = design_inventory(DesignSpec.baseline(), 80, 32)
+        assert inv == [CrossbarShape(1, 80, 32, 12.3)]
+
+    def test_clustered_inventory(self):
+        inv = design_inventory(DesignSpec.clustered(40, 10), 80, 32)
+        assert CrossbarShape(10, 8, 4, 3.3) in inv
+        assert CrossbarShape(4, 10, 8, 12.3) in inv
+
+    def test_cdxbar_inventory(self):
+        inv = design_inventory(DesignSpec.cdxbar(), 80, 32)
+        assert CrossbarShape(10, 8, 8, 3.3) in inv
+        assert CrossbarShape(8, 10, 4, 12.3) in inv
+
+    def test_direct_link_flag(self):
+        assert CrossbarShape(80, 1, 1).is_direct_link
+        assert not CrossbarShape(1, 2, 1).is_direct_link
+
+
+class TestDynamicEnergy:
+    def test_energy_scales_with_hops_and_length(self):
+        e1 = DsentModel.dynamic_energy_units([(100, 3.3)])
+        e2 = DsentModel.dynamic_energy_units([(100, 12.3)])
+        e3 = DsentModel.dynamic_energy_units([(200, 3.3)])
+        assert e2 > e1
+        assert e3 == pytest.approx(2 * e1)
+        assert DsentModel.dynamic_energy_units([]) == 0.0

@@ -1,0 +1,93 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_runs_events_in_time_order():
+    order = []
+    eng = Engine()
+    eng.schedule(5.0, order.append, "c")
+    eng.schedule(1.0, order.append, "a")
+    eng.schedule(3.0, order.append, "b")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 5.0
+
+
+def test_ties_break_fifo():
+    order = []
+    eng = Engine()
+    for tag in range(10):
+        eng.schedule(2.0, order.append, tag)
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_schedule_in_is_relative():
+    seen = []
+    eng = Engine()
+
+    def later(_):
+        eng.schedule_in(4.0, seen.append, eng.now + 4.0)
+
+    eng.schedule(2.0, later, None)
+    eng.run()
+    assert seen == [6.0]
+    assert eng.now == 6.0
+
+
+def test_events_can_schedule_more_events():
+    count = [0]
+    eng = Engine()
+
+    def chain(n):
+        count[0] += 1
+        if n > 0:
+            eng.schedule_in(1.0, chain, n - 1)
+
+    eng.schedule(0.0, chain, 9)
+    eng.run()
+    assert count[0] == 10
+    assert eng.now == 9.0
+
+
+def test_scheduling_in_the_past_raises():
+    eng = Engine()
+    eng.schedule(5.0, lambda _: None, None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.schedule(1.0, lambda _: None, None)
+
+
+def test_event_budget_guards_livelock():
+    eng = Engine(max_events=100)
+
+    def forever(_):
+        eng.schedule_in(1.0, forever, None)
+
+    eng.schedule(0.0, forever, None)
+    with pytest.raises(RuntimeError, match="event budget"):
+        eng.run()
+
+
+def test_run_until_stops_at_deadline():
+    seen = []
+    eng = Engine()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        eng.schedule(t, seen.append, t)
+    eng.run_until(2.5)
+    assert seen == [1.0, 2.0]
+    assert eng.now == 2.5
+    eng.run()
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_empty_property():
+    eng = Engine()
+    assert eng.empty()
+    eng.schedule(1.0, lambda _: None, None)
+    assert not eng.empty()
+    eng.run()
+    assert eng.empty()

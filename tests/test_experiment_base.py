@@ -1,0 +1,63 @@
+"""Tests for experiment-report rendering and runner configuration."""
+
+import pytest
+
+from repro.experiments.base import BASELINE, ExperimentReport, Runner, env_scale
+from repro.sim.config import SimConfig
+
+
+class TestEnvScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+        assert env_scale(0.3) == 0.3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert env_scale() == 0.25
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        assert env_scale(0.7) == 0.7
+
+
+class TestExperimentReport:
+    def make(self):
+        return ExperimentReport(
+            experiment="figX",
+            title="demo",
+            columns=["app", "speedup"],
+            rows=[{"app": "a", "speedup": 1.5}, {"app": "b", "speedup": 0.9}],
+            summary={"mean": 1.2},
+            paper={"mean": 1.3},
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "[figX] demo" in text
+        assert "app" in text and "speedup" in text
+        assert "measured: mean=1.200" in text
+        assert "paper:    mean=1.300" in text
+
+    def test_render_without_summary(self):
+        rep = ExperimentReport("e", "t", ["c"], rows=[{"c": 1}])
+        text = rep.render()
+        assert "measured:" not in text
+        assert "paper:" not in text
+
+
+class TestRunnerOverrides:
+    def test_overrides_reach_config(self):
+        runner = Runner(SimConfig(scale=0.05))
+        a = runner.run("C-BLK", BASELINE)
+        b = runner.run("C-BLK", BASELINE, overrides={"l1_policy": "fifo"})
+        assert runner.sims_run == 2
+        assert a is not b
+        # Same overrides hit the cache.
+        c = runner.run("C-BLK", BASELINE, overrides={"l1_policy": "fifo"})
+        assert c is b
+
+    def test_bad_override_key_raises(self):
+        runner = Runner(SimConfig(scale=0.05))
+        with pytest.raises(TypeError):
+            runner.run("C-BLK", BASELINE, overrides={"not_a_field": 1})

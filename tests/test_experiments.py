@@ -1,0 +1,113 @@
+"""Tests for the experiment harness: runner caching + analytical experiments
+at full fidelity + simulation experiments on a tiny platform/scale."""
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, ExperimentReport, Runner
+from repro.experiments.registry import ANALYTICAL, EXPERIMENTS, run_experiment
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture
+def tiny_runner():
+    """80-core platform (experiments assume its geometry) at tiny scale."""
+    return Runner(SimConfig(scale=0.05))
+
+
+class TestRunner:
+    def test_caches_identical_requests(self, tiny_runner):
+        a = tiny_runner.run("C-BLK", BASELINE)
+        b = tiny_runner.run("C-BLK", BASELINE)
+        assert a is b
+        assert tiny_runner.sims_run == 1
+
+    def test_distinct_requests_not_conflated(self, tiny_runner):
+        tiny_runner.run("C-BLK", BASELINE)
+        tiny_runner.run("C-BLK", BASELINE, scheduler="distributed")
+        tiny_runner.run("C-BLK", BASELINE, l1_latency_override=10.0)
+        tiny_runner.run("C-BLK", DesignSpec.private(40))
+        assert tiny_runner.sims_run == 4
+
+    def test_speedup_helper(self, tiny_runner):
+        s = tiny_runner.speedup("C-BLK", DesignSpec.clustered(40, 10, boost=2.0))
+        assert s > 0
+
+    def test_clear(self, tiny_runner):
+        tiny_runner.run("C-BLK", BASELINE)
+        tiny_runner.clear()
+        tiny_runner.run("C-BLK", BASELINE)
+        assert tiny_runner.sims_run == 2
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig01", "fig02", "sec2c", "tab1", "fig04", "fig06", "fig08",
+            "fig09", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "sens-cta", "sens-size", "sens-base",
+            "latency", "ablations", "ext-bypass", "ext-capacity", "ext-latency-dist",
+            "ext-queues", "robustness",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self, tiny_runner):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", tiny_runner)
+
+    def test_proposed_designs_order(self):
+        assert [d.label for d in PROPOSED_DESIGNS] == [
+            "Pr40", "Sh40", "Sh40+C10", "Sh40+C10+Boost",
+        ]
+
+
+class TestAnalyticalExperiments:
+    """These run no simulations, so they are checked at full fidelity."""
+
+    def test_tab1_matches_paper_exactly(self, tiny_runner):
+        rep = run_experiment("tab1", tiny_runner)
+        assert rep.summary["pr40_drop"] == 8.0
+        assert rep.summary["pr10_drop"] == 32.0
+        assert tiny_runner.sims_run == 0
+
+    def test_fig06_area_within_tolerance(self, tiny_runner):
+        rep = run_experiment("fig06", tiny_runner)
+        assert rep.summary["pr40_area"] == pytest.approx(0.72, abs=0.03)
+        assert rep.summary["pr40_static"] == pytest.approx(0.96, abs=0.03)
+
+    def test_fig12_clustered_area(self, tiny_runner):
+        rep = run_experiment("fig12", tiny_runner)
+        assert rep.summary["c10_area"] == pytest.approx(0.50, abs=0.04)
+        assert rep.summary["c1_area"] == pytest.approx(1.69, abs=0.08)
+        assert rep.summary["c10_static"] == pytest.approx(0.84, abs=0.03)
+
+
+class TestSimulationExperiments:
+    """Tiny-scale smoke tests: structure + direction, not magnitudes."""
+
+    def test_fig01_produces_all_apps(self, tiny_runner):
+        rep = run_experiment("fig01", tiny_runner)
+        assert len(rep.rows) == 28
+        assert rep.rows == sorted(rep.rows, key=lambda r: r["replication_ratio"])
+
+    def test_fig08_sh40_reduces_misses(self, tiny_runner):
+        rep = run_experiment("fig08", tiny_runner)
+        assert rep.summary["mean_miss_reduction"] > 0.3
+
+    def test_fig13_frequency_flags(self, tiny_runner):
+        rep = run_experiment("fig13", tiny_runner)
+        assert rep.summary["xbar_80x32_supports_2x"] == 0.0
+        assert rep.summary["xbar_8x4_supports_2x"] == 1.0
+
+    def test_report_render_smoke(self, tiny_runner):
+        rep = run_experiment("tab1", tiny_runner)
+        text = rep.render()
+        assert "tab1" in text
+        assert "paper:" in text
+
+    def test_report_structure(self, tiny_runner):
+        rep = run_experiment("fig06", tiny_runner)
+        assert isinstance(rep, ExperimentReport)
+        for row in rep.rows:
+            assert set(rep.columns) >= set(row.keys()) or set(row.keys()) >= set()
+        assert ANALYTICAL <= set(EXPERIMENTS)

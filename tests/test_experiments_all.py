@@ -1,0 +1,113 @@
+"""Structural tests for every experiment module at tiny scale.
+
+One shared runner executes all experiments; assertions check report
+*structure* (row counts, column coverage, summary keys present, values
+finite where required) — magnitudes are covered by the benchmarks at the
+calibrated scale.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.base import Runner
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(SimConfig(scale=0.04))
+
+
+@pytest.fixture(scope="module")
+def reports(runner):
+    return {exp_id: run_experiment(exp_id, runner) for exp_id in EXPERIMENTS}
+
+
+def _finite_numbers(report):
+    for row in report.rows:
+        for col, value in row.items():
+            if isinstance(value, float):
+                assert not math.isinf(value), (report.experiment, col)
+
+
+class TestAllReports:
+    def test_every_experiment_produces_rows(self, reports):
+        for exp_id, rep in reports.items():
+            assert rep.rows, exp_id
+            assert rep.columns, exp_id
+            assert rep.experiment == exp_id
+
+    def test_rows_fit_columns(self, reports):
+        for exp_id, rep in reports.items():
+            cols = set(rep.columns)
+            for row in rep.rows:
+                assert set(row) <= cols | set(row), exp_id  # columns render subset
+
+    def test_summaries_are_numbers(self, reports):
+        for exp_id, rep in reports.items():
+            for key, value in rep.summary.items():
+                assert isinstance(value, (int, float)), (exp_id, key)
+                assert not math.isnan(float(value)), (exp_id, key)
+
+    def test_renders_without_error(self, reports):
+        for exp_id, rep in reports.items():
+            text = rep.render()
+            assert exp_id in text
+
+
+class TestSpecificStructure:
+    def test_fig01_has_28_rows(self, reports):
+        assert len(reports["fig01"].rows) == 28
+
+    def test_fig02_sorted_ascending(self, reports):
+        utils = [r["l1_port_util_max"] for r in reports["fig02"].rows]
+        assert utils == sorted(utils)
+
+    def test_fig04_covers_all_granularities(self, reports):
+        configs = {r["config"] for r in reports["fig04"].rows}
+        assert {"Pr80", "Pr40", "Pr20", "Pr10"} <= configs
+
+    def test_fig11_covers_all_cluster_counts(self, reports):
+        assert [r["config"] for r in reports["fig11"].rows] == [
+            "C1", "C5", "C10", "C20", "C40",
+        ]
+
+    def test_fig14_has_design_columns(self, reports):
+        rep = reports["fig14"]
+        assert "Sh40+C10+Boost" in rep.columns
+        assert len(rep.rows) == 28
+
+    def test_fig15_rank_rows(self, reports):
+        rep = reports["fig15"]
+        assert len(rep.rows) == 28
+        assert [r["rank"] for r in rep.rows] == list(range(28))
+        # Each design column is sorted ascending (it is an S-curve).
+        for col in rep.columns:
+            if col == "rank":
+                continue
+            series = [r[col] for r in rep.rows]
+            assert series == sorted(series), col
+
+    def test_fig16_replica_bounds(self, reports):
+        for row in reports["fig16"].rows:
+            assert row["Sh40_replicas"] <= 1.0 + 1e-9
+            assert row["Sh40+C10_replicas"] <= 10.0 + 1e-9
+            assert row["Pr40_replicas"] <= 40.0 + 1e-9
+
+    def test_sens_size_groups(self, reports):
+        groups = [r["group"] for r in reports["sens-size"].rows]
+        assert groups == ["replication-sensitive", "replication-insensitive"]
+
+    def test_robustness_variants(self, reports):
+        assert [r["variant"] for r in reports["robustness"].rows] == [0, 1, 2]
+
+    def test_ablation_studies_present(self, reports):
+        studies = " ".join(str(r["study"]) for r in reports["ablations"].rows)
+        assert "reply" in studies and "boost" in studies and "home" in studies
+
+    def test_latency_reports_model_values(self, reports):
+        s = reports["latency"].summary
+        assert s["dcl1_latency"] == 30.0
+        assert s["baseline_l1_latency"] == 28.0

@@ -1,0 +1,131 @@
+"""Unit tests for the core-side model: requests, wavefronts, cores, CTAs."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.core import CoreState
+from repro.gpu.cta import (
+    DistributedCTAScheduler,
+    RoundRobinCTAScheduler,
+    make_scheduler,
+)
+from repro.gpu.request import AccessKind, MemoryRequest
+from repro.gpu.wavefront import Wavefront
+from repro.workloads.generator import CTAStream
+
+
+def stream(lines, kinds=None, cta_id=0):
+    lines = np.asarray(lines, dtype=np.int64)
+    if kinds is None:
+        kinds = np.zeros(len(lines), dtype=np.uint8)
+    return CTAStream(cta_id, lines, np.asarray(kinds, dtype=np.uint8))
+
+
+class TestMemoryRequest:
+    def test_kind_predicates(self):
+        load = MemoryRequest(0, AccessKind.LOAD, 32, 0)
+        store = MemoryRequest(0, AccessKind.STORE, 32, 0)
+        atomic = MemoryRequest(0, AccessKind.ATOMIC, 32, 0)
+        bypass = MemoryRequest(0, AccessKind.BYPASS, 32, 0)
+        assert load.is_load and not load.is_store
+        assert store.is_store
+        assert load.accesses_l1 and store.accesses_l1
+        assert not atomic.accesses_l1 and not bypass.accesses_l1
+
+
+class TestWavefront:
+    def test_consumes_stream_in_order(self):
+        wf = Wavefront(0, 0, stream([3, 4, 5]), compute_gap=2.0)
+        assert wf.next_access() == (3, AccessKind.LOAD)
+        assert wf.remaining == 2
+        assert wf.next_access()[0] == 4
+        assert wf.next_access()[0] == 5
+        assert wf.done
+        assert wf.next_access() is None
+
+    def test_kind_decoding(self):
+        wf = Wavefront(0, 0, stream([1, 2], kinds=[1, 2]), 2.0)
+        assert wf.next_access()[1] == AccessKind.STORE
+        assert wf.next_access()[1] == AccessKind.ATOMIC
+
+    def test_bind_replaces_stream(self):
+        wf = Wavefront(0, 0, None, 2.0)
+        assert wf.done
+        wf.bind(stream([9]))
+        assert not wf.done
+        assert wf.next_access()[0] == 9
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            Wavefront(0, 0, None, 2.0, mlp=0)
+
+
+class TestCoreState:
+    def test_slot_count_and_mlp_propagation(self):
+        core = CoreState(1, wavefront_slots=4, compute_gap=3.0, mlp=2)
+        assert len(core.slots) == 4
+        assert all(wf.mlp == 2 for wf in core.slots)
+
+    def test_instruction_accounting(self):
+        core = CoreState(0, 2, 4.0)
+        core.count_access(4.0)
+        assert core.mem_instructions == 1
+        assert core.instructions == 5
+
+    def test_cta_queue(self):
+        core = CoreState(0, 2, 4.0)
+        from collections import deque
+
+        core.assign_ctas(deque([1, 0]))
+        streams = [stream([1]), stream([2])]
+        assert core.next_stream(streams) is streams[1]
+        assert core.next_stream(streams) is streams[0]
+        assert core.next_stream(streams) is None
+
+    def test_needs_positive_slots(self):
+        with pytest.raises(ValueError):
+            CoreState(0, 0, 1.0)
+
+
+class TestRoundRobinScheduler:
+    def test_even_distribution(self):
+        qs = RoundRobinCTAScheduler().assign(10, 4)
+        assert [list(q) for q in qs] == [[0, 4, 8], [1, 5, 9], [2, 6], [3, 7]]
+
+    def test_weighted_assignment_skews(self):
+        qs = RoundRobinCTAScheduler().assign(100, 4, weights=[1, 1, 1, 7])
+        sizes = [len(q) for q in qs]
+        assert sizes[3] == 70
+        assert sum(sizes) == 100
+
+    def test_weight_validation(self):
+        s = RoundRobinCTAScheduler()
+        with pytest.raises(ValueError):
+            s.assign(10, 4, weights=[1, 1])
+        with pytest.raises(ValueError):
+            s.assign(10, 2, weights=[0, 0])
+        with pytest.raises(ValueError):
+            s.assign(10, 2, weights=[-1, 2])
+
+
+class TestDistributedScheduler:
+    def test_contiguous_blocks(self):
+        qs = DistributedCTAScheduler().assign(10, 4)
+        assert [list(q) for q in qs] == [[0, 1, 2], [3, 4, 5], [6, 7], [8, 9]]
+
+    def test_all_ctas_assigned_exactly_once(self):
+        qs = DistributedCTAScheduler().assign(37, 8)
+        seen = [cta for q in qs for cta in q]
+        assert sorted(seen) == list(range(37))
+
+    def test_rejects_weights(self):
+        with pytest.raises(ValueError):
+            DistributedCTAScheduler().assign(10, 4, weights=[1, 1, 1, 1])
+
+
+class TestFactory:
+    def test_make_scheduler(self):
+        assert make_scheduler("round_robin").name == "round_robin"
+        assert make_scheduler("distributed").name == "distributed"
+        with pytest.raises(ValueError):
+            make_scheduler("greedy")

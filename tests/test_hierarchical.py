@@ -1,0 +1,34 @@
+"""Unit tests for the CDXBar geometry helper."""
+
+import pytest
+
+from repro.noc.hierarchical import CDXBarGeometry
+
+
+class TestGeometry:
+    def test_default_shape(self):
+        g = CDXBarGeometry()
+        assert g.num_groups == 10
+        assert g.l2_per_column == 4
+        s1, s2 = g.stage1_shape(), g.stage2_shape()
+        assert (s1.count, s1.n_in, s1.n_out) == (10, 8, 8)
+        assert (s2.count, s2.n_in, s2.n_out) == (8, 10, 4)
+
+    def test_inventory_has_both_stages(self):
+        inv = CDXBarGeometry().inventory()
+        assert len(inv) == 2
+        assert inv[0].link_mm < inv[1].link_mm  # short then long links
+
+    def test_str(self):
+        assert "10x(8x8)" in str(CDXBarGeometry())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CDXBarGeometry(num_cores=81)
+        with pytest.raises(ValueError):
+            CDXBarGeometry(num_l2=33)
+
+    def test_scaled_system(self):
+        g = CDXBarGeometry(num_cores=120, num_l2=48, group_size=8, columns=8)
+        assert g.num_groups == 15
+        assert g.l2_per_column == 6

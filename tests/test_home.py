@@ -1,0 +1,74 @@
+"""Unit tests for home-DC-L1 selection."""
+
+import pytest
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.home import HomeMapper
+
+
+def mapper(y=40, z=10, cores=80, l2=32, **kw):
+    return HomeMapper(ClusterGeometry(cores, y, z, l2), **kw)
+
+
+class TestInterleave:
+    def test_home_in_own_cluster(self):
+        m = mapper()
+        for core in (0, 7, 8, 79):
+            cluster = core // 8
+            for line in (0, 1, 5, 41, 1000):
+                home = m.home_of(core, line)
+                assert cluster * 4 <= home < (cluster + 1) * 4
+
+    def test_range_is_line_mod_m(self):
+        m = mapper()
+        assert m.range_of_line(0) == 0
+        assert m.range_of_line(5) == 1
+        assert m.range_of_line(7) == 3
+
+    def test_private_design_maps_to_group_node(self):
+        m = mapper(40, 40)  # Pr40: M=1, N=2
+        assert m.home_of(0, 12345) == 0
+        assert m.home_of(1, 999) == 0
+        assert m.home_of(2, 0) == 1
+        assert m.home_of(79, 7) == 39
+
+    def test_fully_shared_ignores_core(self):
+        m = mapper(40, 1)
+        for core in (0, 40, 79):
+            assert m.home_of(core, 123) == 123 % 40
+
+    def test_homes_of_line_one_per_cluster(self):
+        m = mapper()
+        homes = m.homes_of_line(6)  # range 2
+        assert homes == [z * 4 + 2 for z in range(10)]
+
+    def test_l2_alignment_invariant(self):
+        """The NoC#2 partition invariant: a line's L2 slice is congruent to
+        its home range modulo M (Figure 10's per-range crossbars)."""
+        m = mapper()
+        for line in range(0, 500, 7):
+            r = m.range_of_line(line)
+            l2_slice = line % 32
+            assert l2_slice % 4 == r
+
+
+class TestBitsStrategy:
+    def test_bits_requires_power_of_two(self):
+        mapper(40, 10, strategy="bits")  # M = 4 is a power of two: fine
+        with pytest.raises(ValueError):
+            mapper(40, 1, strategy="bits")  # M = 40 is not
+
+    def test_bits_matches_interleave_for_pow2(self):
+        a = mapper(32, 8, strategy="interleave")
+        b = HomeMapper(ClusterGeometry(80, 32, 8, 32), strategy="bits", bit_shift=0)
+        for line in range(64):
+            assert a.range_of_line(line) == b.range_of_line(line)
+
+    def test_bit_shift_moves_selection(self):
+        m = HomeMapper(ClusterGeometry(80, 32, 8, 32), strategy="bits", bit_shift=2)
+        assert m.range_of_line(0) == 0
+        assert m.range_of_line(4) == 1
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            mapper(strategy="hash")

@@ -1,0 +1,63 @@
+"""Unit tests for address interleaving."""
+
+import pytest
+
+from repro.mem.interleave import AddressMap
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(line_bytes=128, num_l2_slices=32, num_channels=16)
+
+
+class TestLineMapping:
+    def test_line_of_and_inverse(self, amap):
+        assert amap.line_of(0) == 0
+        assert amap.line_of(127) == 0
+        assert amap.line_of(128) == 1
+        assert amap.addr_of_line(5) == 640
+        assert amap.line_of(amap.addr_of_line(12345)) == 12345
+
+    def test_line_bits(self, amap):
+        assert amap.line_bits == 7
+
+
+class TestSliceMapping:
+    def test_line_interleaved(self, amap):
+        assert amap.l2_slice_of_line(0) == 0
+        assert amap.l2_slice_of_line(31) == 31
+        assert amap.l2_slice_of_line(32) == 0
+
+    def test_addr_and_line_consistent(self, amap):
+        for line in (0, 7, 100, 12345):
+            assert amap.l2_slice_of(amap.addr_of_line(line)) == amap.l2_slice_of_line(line)
+
+    def test_all_slices_reachable(self, amap):
+        assert {amap.l2_slice_of_line(l) for l in range(64)} == set(range(32))
+
+
+class TestChannelMapping:
+    def test_contiguous_grouping(self, amap):
+        # 32 slices / 16 channels = 2 slices per channel.
+        assert amap.channel_of_slice(0) == 0
+        assert amap.channel_of_slice(1) == 0
+        assert amap.channel_of_slice(2) == 1
+        assert amap.channel_of_slice(31) == 15
+
+    def test_channel_of_addr(self, amap):
+        addr = amap.addr_of_line(33)  # slice 1 -> channel 0
+        assert amap.channel_of(addr) == 0
+
+
+class TestValidation:
+    def test_line_bytes_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressMap(100, 32, 16)
+
+    def test_channels_divide_slices(self):
+        with pytest.raises(ValueError):
+            AddressMap(128, 32, 5)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            AddressMap(128, 0, 1)

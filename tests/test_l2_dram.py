@@ -1,0 +1,96 @@
+"""Unit tests for L2 slices and memory controllers."""
+
+import pytest
+
+from repro.mem.dram import MemoryController
+from repro.mem.l2 import L2Slice
+
+
+class TestL2Slice:
+    def make(self, **kw):
+        defaults = dict(slice_id=3, size_bytes=16 * 1024, assoc=8,
+                        line_bytes=128, num_slices=8)
+        defaults.update(kw)
+        return L2Slice(**defaults)
+
+    def test_load_miss_then_install_then_hit(self):
+        s = self.make()
+        line = 8 * 5 + 3  # congruent to slice id
+        assert not s.access_load(line)
+        s.install(line)
+        assert s.access_load(line)
+
+    def test_store_allocates_in_place(self):
+        s = self.make()
+        line = 3
+        assert not s.access_store(line)  # write miss allocates
+        assert s.cache.contains(line)
+        assert s.access_store(line)  # now a write hit
+        assert s.cache.contains(line)
+        assert s.is_dirty(line)
+
+    def test_dirty_victim_queues_writeback(self):
+        s = self.make()
+        # Fill one set (8-way) with dirty lines, then overflow it.
+        set_lines = [8 * (k * s.cache.num_sets) + 3 for k in range(9)]
+        for line in set_lines[:8]:
+            s.access_store(line)
+        assert s.drain_writebacks() == []
+        s.install(set_lines[8])  # evicts the LRU dirty line
+        wb = s.drain_writebacks()
+        assert wb == [set_lines[0]]
+        assert s.writebacks == 1
+        assert not s.is_dirty(set_lines[0])
+
+    def test_clean_victim_is_not_written_back(self):
+        s = self.make()
+        set_lines = [8 * (k * s.cache.num_sets) + 3 for k in range(9)]
+        for line in set_lines[:8]:
+            s.install(line)  # clean fills
+        s.install(set_lines[8])
+        assert s.drain_writebacks() == []
+        assert s.writebacks == 0
+
+    def test_sliced_index_uses_all_sets(self):
+        s = self.make()
+        # Slice 3 of 8 only ever sees lines = 8k + 3.
+        sets = {s.cache.set_index(8 * k + 3) for k in range(64)}
+        assert sets == set(range(s.cache.num_sets))
+
+    def test_stats_property(self):
+        s = self.make()
+        s.access_load(3)
+        assert s.stats.load_misses == 1
+
+
+class TestMemoryController:
+    def test_bank_group_selection_by_line(self):
+        mc = MemoryController(0, service_cycles=8.0, latency_cycles=100.0,
+                              num_bank_groups=4)
+        assert mc.bank_of(0) is mc.banks[0]
+        assert mc.bank_of(5) is mc.banks[1]
+
+    def test_parallel_banks_do_not_queue_each_other(self):
+        mc = MemoryController(0, 8.0, 100.0, num_bank_groups=4)
+        t0 = mc.access(0.0, line=0)
+        t1 = mc.access(0.0, line=1)
+        assert t0 == t1 == 108.0  # different bank groups
+
+    def test_same_bank_serializes(self):
+        mc = MemoryController(0, 8.0, 100.0, num_bank_groups=4)
+        t0 = mc.access(0.0, line=0)
+        t1 = mc.access(0.0, line=4)  # same group
+        assert t1 == t0 + 8.0
+
+    def test_utilization(self):
+        mc = MemoryController(0, 8.0, 0.0, num_bank_groups=2)
+        mc.access(0.0, 0)
+        mc.access(0.0, 1)
+        assert mc.utilization(8.0) == pytest.approx(1.0)
+        assert mc.utilization(16.0) == pytest.approx(0.5)
+        assert mc.busy_cycles() == 16.0
+        assert mc.accesses == 2
+
+    def test_needs_positive_banks(self):
+        with pytest.raises(ValueError):
+            MemoryController(0, 8.0, 100.0, num_bank_groups=0)

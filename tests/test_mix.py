@@ -1,0 +1,88 @@
+"""Tests for workload mixing."""
+
+import numpy as np
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.sim.system import simulate
+from repro.workloads.generator import generate_workload
+from repro.workloads.mix import (
+    concatenate,
+    footprint_overlap,
+    interleave,
+)
+from repro.workloads.profile import AppProfile
+
+
+@pytest.fixture
+def two_workloads():
+    a = generate_workload(AppProfile(
+        name="mix-a", num_ctas=10, accesses_per_cta=32,
+        shared_lines=64, shared_fraction=0.8, private_lines=32,
+        block_lines=4, block_repeats=2))
+    b = generate_workload(AppProfile(
+        name="mix-b", num_ctas=6, accesses_per_cta=32,
+        shared_lines=64, shared_fraction=0.8, private_lines=32,
+        block_lines=4, block_repeats=2))
+    return a, b
+
+
+class TestInterleave:
+    def test_alternates_and_renumbers(self, two_workloads):
+        a, b = two_workloads
+        m = interleave([a, b])
+        assert m.num_ctas == 16
+        assert [s.cta_id for s in m.streams] == list(range(16))
+        # First two streams come from a and b respectively.
+        assert np.array_equal(m.streams[0].lines, a.streams[0].lines)
+        assert np.array_equal(m.streams[1].lines, b.streams[0].lines)
+        # Tail carries the longer workload's leftovers.
+        assert np.array_equal(m.streams[-1].lines, a.streams[-1].lines)
+
+    def test_originals_untouched(self, two_workloads):
+        a, b = two_workloads
+        before = a.streams[0].cta_id
+        interleave([a, b], isolate=True)
+        assert a.streams[0].cta_id == before
+
+    def test_needs_two(self, two_workloads):
+        a, _ = two_workloads
+        with pytest.raises(ValueError):
+            interleave([a])
+
+
+class TestConcatenate:
+    def test_phases_in_order(self, two_workloads):
+        a, b = two_workloads
+        m = concatenate([a, b])
+        assert m.num_ctas == 16
+        assert np.array_equal(m.streams[9].lines, a.streams[9].lines)
+        assert np.array_equal(m.streams[10].lines, b.streams[0].lines)
+
+
+class TestIsolation:
+    def test_shared_region_overlaps_by_default(self, two_workloads):
+        a, b = two_workloads
+        assert footprint_overlap(a, b) > 0.2  # same shared region
+
+    def test_isolation_removes_overlap(self, two_workloads):
+        a, b = two_workloads
+        m = interleave([a, b], isolate=True)
+        first = m.streams[0].lines  # from a (offset 0)
+        second = m.streams[1].lines  # from b (offset stride)
+        assert not set(first.tolist()) & set(second.tolist())
+
+    def test_mixed_workload_simulates(self, two_workloads, tiny_config):
+        a, b = two_workloads
+        m = interleave([a, b], isolate=True)
+        res = simulate(m, DesignSpec.clustered(8, 4), tiny_config)
+        assert res.total_requests == a.total_accesses + b.total_accesses
+
+    def test_sharing_vs_isolation_changes_behaviour(self, two_workloads, tiny_config):
+        """With a common shared region the DC-L1s hold one copy for both
+        kernels; isolated footprints need twice the capacity."""
+        a, b = two_workloads
+        shared = simulate(interleave([a, b]), DesignSpec.shared(8), tiny_config)
+        isolated = simulate(interleave([a, b], isolate=True),
+                            DesignSpec.shared(8), tiny_config)
+        assert shared.l1.misses <= isolated.l1.misses

@@ -1,0 +1,96 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestAllocate:
+    def test_primary_miss_allocates(self):
+        m = MSHRFile(4)
+        assert m.allocate(10, "r0") == "new"
+        assert m.outstanding(10)
+        assert m.primary_misses == 1
+
+    def test_secondary_miss_merges(self):
+        m = MSHRFile(4)
+        m.allocate(10, "r0")
+        assert m.allocate(10, "r1") == "merged"
+        assert m.secondary_misses == 1
+        assert len(m) == 1  # still one entry
+
+    def test_full_file_stalls(self):
+        m = MSHRFile(2)
+        m.allocate(1, "a")
+        m.allocate(2, "b")
+        assert m.full
+        assert m.allocate(3, "c") == "stalled"
+        assert m.stall_events == 1
+        assert m.has_stalled()
+
+    def test_merge_capacity_stalls(self):
+        m = MSHRFile(4, max_merged=2)
+        m.allocate(1, "a")
+        m.allocate(1, "b")
+        assert m.allocate(1, "c") == "stalled"
+
+    def test_merge_possible_even_when_full(self):
+        m = MSHRFile(1)
+        m.allocate(1, "a")
+        assert m.full
+        assert m.allocate(1, "b") == "merged"
+
+
+class TestRelease:
+    def test_release_returns_all_waiters(self):
+        m = MSHRFile(4)
+        m.allocate(10, "r0")
+        m.allocate(10, "r1")
+        assert m.release(10) == ["r0", "r1"]
+        assert not m.outstanding(10)
+
+    def test_release_unknown_line_raises(self):
+        m = MSHRFile(4)
+        with pytest.raises(KeyError):
+            m.release(99)
+
+    def test_release_frees_capacity(self):
+        m = MSHRFile(1)
+        m.allocate(1, "a")
+        m.release(1)
+        assert m.allocate(2, "b") == "new"
+
+
+class TestStallQueue:
+    def test_fifo_order(self):
+        m = MSHRFile(1)
+        m.allocate(1, "a")
+        m.allocate(2, "b")
+        m.allocate(3, "c")
+        assert m.pop_stalled() == "b"
+        assert m.pop_stalled() == "c"
+        assert m.pop_stalled() is None
+
+    def test_drained(self):
+        m = MSHRFile(2)
+        assert m.drained()
+        m.allocate(1, "a")
+        assert not m.drained()
+        m.release(1)
+        assert m.drained()
+
+
+class TestAccounting:
+    def test_peak_occupancy(self):
+        m = MSHRFile(4)
+        m.allocate(1, "a")
+        m.allocate(2, "b")
+        m.release(1)
+        m.allocate(3, "c")
+        assert m.peak_occupancy == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+        with pytest.raises(ValueError):
+            MSHRFile(4, max_merged=0)

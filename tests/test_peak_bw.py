@@ -1,0 +1,55 @@
+"""Unit tests for Table I peak-bandwidth analytics."""
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.core.peak_bw import peak_l1_bandwidth, table1_rows
+
+
+class TestPeakBandwidth:
+    def test_baseline_full_line_ports(self):
+        bw = peak_l1_bandwidth(DesignSpec.baseline(), num_cores=80)
+        assert bw.bytes_per_cycle == 128 * 80
+        assert bw.drop_vs_baseline == 1.0
+
+    @pytest.mark.parametrize(
+        "y,drop", [(80, 4.0), (40, 8.0), (20, 16.0), (10, 32.0)]
+    )
+    def test_private_drops_match_table1(self, y, drop):
+        bw = peak_l1_bandwidth(DesignSpec.private(y), num_cores=80)
+        assert bw.bytes_per_cycle == 32 * y
+        assert bw.drop_vs_baseline == drop
+
+    def test_boost_halves_the_drop(self):
+        plain = peak_l1_bandwidth(DesignSpec.clustered(40, 10), 80)
+        boosted = peak_l1_bandwidth(DesignSpec.clustered(40, 10, boost=2.0), 80)
+        assert plain.drop_vs_baseline == 8.0
+        assert boosted.drop_vs_baseline == 4.0
+
+    def test_single_l1_preserves_bandwidth(self):
+        bw = peak_l1_bandwidth(DesignSpec.single_l1(), 80)
+        assert bw.drop_vs_baseline == 1.0
+
+    def test_cdxbar_keeps_core_ports(self):
+        bw = peak_l1_bandwidth(DesignSpec.cdxbar(), 80)
+        assert bw.bytes_per_cycle == 128 * 80
+
+    def test_str_rendering(self):
+        assert "8x" in str(peak_l1_bandwidth(DesignSpec.private(40), 80))
+        assert "drop -" in str(peak_l1_bandwidth(DesignSpec.baseline(), 80))
+
+
+class TestTable1Rows:
+    def test_row_structure(self):
+        rows = table1_rows()
+        assert [r["config"] for r in rows] == ["Baseline", "Pr80", "Pr40", "Pr20", "Pr10"]
+        assert rows[0]["noc1"] == "NA"
+        assert rows[1]["noc1"].startswith("80 direct")
+        assert rows[2]["noc1"] == "40x (2x1)"
+        assert rows[2]["drop"] == "8x"
+
+    def test_scales_with_platform(self):
+        rows = table1_rows(num_cores=120, num_l2=48, node_counts=(60,))
+        assert rows[1]["config"] == "Pr60"
+        assert "60x32" not in rows[1]["noc2"]
+        assert "(60x48)" in rows[1]["noc2"]

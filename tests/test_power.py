@@ -1,0 +1,105 @@
+"""Unit tests for the CACTI-like cache-area and NoC energy models."""
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.power.cacti import (
+    cache_area_mm2,
+    dcl1_node_queue_bytes,
+    l1_level_area_report,
+)
+from repro.power.energy import EnergyModel
+from repro.sim.results import SimResult
+
+TOTAL_L1 = 80 * 16 * 1024
+
+
+class TestCacti:
+    def test_fewer_banks_save_paper_fraction(self):
+        base = cache_area_mm2(TOTAL_L1, 80, TOTAL_L1)
+        agg = cache_area_mm2(TOTAL_L1, 40, TOTAL_L1)
+        assert agg / base == pytest.approx(0.92, abs=0.005)
+
+    def test_area_monotone_in_capacity(self):
+        assert cache_area_mm2(2 * TOTAL_L1, 80, TOTAL_L1) > cache_area_mm2(
+            TOTAL_L1, 80, TOTAL_L1
+        )
+
+    def test_queue_bytes_match_paper_overhead(self):
+        # 40 nodes x 4 queues x 4 entries x 128 B = 80 KiB = 6.25% of 1.25 MiB.
+        q = dcl1_node_queue_bytes(40)
+        assert q / TOTAL_L1 == pytest.approx(0.0625)
+
+    def test_report_fields(self):
+        rep = l1_level_area_report(TOTAL_L1, 80, 40)
+        assert rep["cache_savings_fraction"] == pytest.approx(0.08, abs=0.005)
+        assert rep["queue_overhead_fraction"] == pytest.approx(0.0625)
+        assert rep["net_vs_baseline"] < 1.0  # savings beat queue overhead
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cache_area_mm2(0, 10)
+        with pytest.raises(ValueError):
+            cache_area_mm2(1024, 0)
+
+
+class TestEnergyModel:
+    def _result(self, cycles=1000.0, hops_short=1000, hops_long=500):
+        r = SimResult(app="x", design="d")
+        r.cycles = cycles
+        r.instructions = 10_000
+        r.noc_traffic = [(hops_short, 3.3, 1.0), (hops_long, 12.3, 1.0)]
+        return r
+
+    def test_requires_calibration(self):
+        m = EnergyModel()
+        with pytest.raises(RuntimeError):
+            m.dynamic_power(self._result())
+
+    def test_calibration_sets_baseline_ratio(self):
+        m = EnergyModel()
+        base = self._result()
+        m.calibrate_dyn_scale(base, DesignSpec.baseline())
+        b = m.breakdown(base, DesignSpec.baseline())
+        assert b.dynamic / b.static == pytest.approx(0.64, rel=1e-6)
+
+    def test_dynamic_scales_with_traffic(self):
+        m = EnergyModel()
+        base = self._result()
+        m.calibrate_dyn_scale(base, DesignSpec.baseline())
+        busy = self._result(hops_short=4000, hops_long=2000)
+        assert m.dynamic_power(busy) > m.dynamic_power(base)
+
+    def test_energy_is_power_times_time(self):
+        m = EnergyModel()
+        base = self._result()
+        m.calibrate_dyn_scale(base, DesignSpec.baseline())
+        b = m.breakdown(base, DesignSpec.baseline())
+        assert b.energy == pytest.approx(b.total * base.cycles)
+
+    def test_normalized_to(self):
+        m = EnergyModel()
+        base = self._result()
+        m.calibrate_dyn_scale(base, DesignSpec.baseline())
+        b0 = m.breakdown(base, DesignSpec.baseline())
+        b1 = m.breakdown(self._result(cycles=500.0), DesignSpec.clustered(40, 10))
+        norm = b1.normalized_to(b0)
+        assert norm["static"] == pytest.approx(
+            m.static_power(DesignSpec.clustered(40, 10))
+            / m.static_power(DesignSpec.baseline())
+        )
+        assert norm["energy"] < norm["total"]  # shorter runtime
+
+    def test_perf_metrics_positive(self):
+        m = EnergyModel()
+        base = self._result()
+        m.calibrate_dyn_scale(base, DesignSpec.baseline())
+        assert m.perf_per_watt(base, DesignSpec.baseline()) > 0
+        assert m.perf_per_energy(base, DesignSpec.baseline()) > 0
+
+    def test_calibration_rejects_idle_run(self):
+        m = EnergyModel()
+        idle = SimResult()
+        idle.cycles = 100.0
+        with pytest.raises(ValueError):
+            m.calibrate_dyn_scale(idle, DesignSpec.baseline())

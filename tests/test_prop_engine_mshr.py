@@ -1,0 +1,102 @@
+"""Property-based tests for the event engine, servers and MSHRs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.mshr import MSHRFile
+from repro.sim.engine import Engine
+from repro.sim.resources import Server
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_events_observed_in_nondecreasing_time(self, times):
+        eng = Engine()
+        observed = []
+        for t in times:
+            eng.schedule(t, lambda _t: observed.append(eng.now), None)
+        eng.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_final_time_is_max(self, times):
+        eng = Engine()
+        for t in times:
+            eng.schedule(t, lambda _x: None, None)
+        assert eng.run() == max(times)
+
+
+class TestServerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.integers(min_value=1, max_value=8),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_service_conservation(self, arrivals):
+        """Completions are spaced by at least the service time, and total
+        busy time equals the sum of occupancies."""
+        s = Server("s", service=2.0, latency=5.0)
+        arrivals = sorted(arrivals)
+        completions = []
+        total_size = 0
+        for t, size in arrivals:
+            completions.append(s.reserve(t, size))
+            total_size += size
+        assert s.busy_cycles == 2.0 * total_size
+        for (t0, sz0), (c0, c1) in zip(arrivals, zip(completions, completions[1:])):
+            assert c1 >= c0  # FIFO order preserved for sorted arrivals
+        for (t, size), c in zip(arrivals, completions):
+            assert c >= t + 2.0 * size + 5.0  # never faster than unloaded
+
+
+class TestMSHRProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 10)), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_waiter_conservation(self, events):
+        """Every allocated waiter is returned by exactly one release, and
+        stalled waiters are all recoverable."""
+        m = MSHRFile(4, max_merged=4)
+        token = 0
+        accepted, released, stalled_out = [], [], []
+        outstanding = set()
+        for is_alloc, line in events:
+            if is_alloc:
+                outcome = m.allocate(line, token)
+                if outcome in ("new", "merged"):
+                    accepted.append(token)
+                    outstanding.add(line)
+                token += 1
+            else:
+                if line in outstanding and m.outstanding(line):
+                    released.extend(m.release(line))
+                    outstanding.discard(line)
+        # Drain remaining entries and the stall queue.
+        for line in list(outstanding):
+            if m.outstanding(line):
+                released.extend(m.release(line))
+        while m.has_stalled():
+            stalled_out.append(m.pop_stalled())
+        assert sorted(released) == sorted(accepted)
+        assert len(set(stalled_out) & set(accepted)) == 0
+        assert m.primary_misses + m.secondary_misses == len(accepted)
+
+    @given(st.integers(1, 8), st.lists(st.integers(0, 6), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_bounded(self, entries, lines):
+        m = MSHRFile(entries)
+        for tok, line in enumerate(lines):
+            m.allocate(line, tok)
+            assert len(m) <= entries
+        assert m.peak_occupancy <= entries

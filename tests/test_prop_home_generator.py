@@ -1,0 +1,117 @@
+"""Property-based tests for home mapping, geometry and trace generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.home import HomeMapper
+from repro.workloads.generator import generate_workload
+from repro.workloads.profile import AppProfile
+
+# Geometries where Z divides both the core count and the DC-L1 count.
+geometries = st.sampled_from(
+    [
+        (80, 40, 1, 32),
+        (80, 40, 5, 32),
+        (80, 40, 10, 32),
+        (80, 40, 20, 32),
+        (80, 40, 40, 32),
+        (80, 80, 80, 32),
+        (80, 20, 4, 32),
+        (120, 60, 10, 48),
+        (16, 8, 4, 8),
+    ]
+)
+
+
+class TestHomeMappingProperties:
+    @given(geometries, st.integers(0, 79), st.integers(0, 1 << 28))
+    @settings(max_examples=200, deadline=None)
+    def test_home_is_valid_and_in_core_cluster(self, geo, core, line):
+        cores, y, z, l2 = geo
+        core = core % cores
+        g = ClusterGeometry(cores, y, z, l2)
+        m = HomeMapper(g)
+        home = m.home_of(core, line)
+        assert 0 <= home < y
+        assert g.cluster_of_dcl1(home) == g.cluster_of_core(core)
+
+    @given(geometries, st.integers(0, 1 << 28))
+    @settings(max_examples=200, deadline=None)
+    def test_one_home_per_cluster(self, geo, line):
+        cores, y, z, l2 = geo
+        g = ClusterGeometry(cores, y, z, l2)
+        m = HomeMapper(g)
+        homes = m.homes_of_line(line)
+        assert len(homes) == z
+        assert len(set(homes)) == z
+        assert all(m.range_of_line(line) == h % g.dcl1_per_cluster for h in homes)
+
+    @given(geometries, st.integers(0, 1 << 28))
+    @settings(max_examples=200, deadline=None)
+    def test_noc2_partition_invariant(self, geo, line):
+        """When NoC#2 is partitioned per range, the L2 slice serving a line
+        must be reachable from that line's home range crossbar."""
+        cores, y, z, l2 = geo
+        g = ClusterGeometry(cores, y, z, l2)
+        if not g.noc2_partitioned:
+            return
+        m = HomeMapper(g)
+        r = m.range_of_line(line)
+        slice_ = line % l2
+        assert slice_ % g.dcl1_per_cluster == r
+
+    @given(geometries)
+    @settings(max_examples=50, deadline=None)
+    def test_cores_partitioned_into_clusters(self, geo):
+        cores, y, z, l2 = geo
+        g = ClusterGeometry(cores, y, z, l2)
+        seen = []
+        for cluster in range(z):
+            seen.extend(g.cores_of_cluster(cluster))
+        assert seen == list(range(cores))
+
+
+profiles = st.builds(
+    AppProfile,
+    name=st.sampled_from(["pa", "pb", "pc"]),
+    num_ctas=st.integers(1, 24),
+    accesses_per_cta=st.integers(1, 96),
+    shared_lines=st.integers(16, 512),
+    shared_fraction=st.floats(0.0, 0.9),
+    neighbor_fraction=st.just(0.1),
+    private_lines=st.integers(8, 256),
+    block_lines=st.integers(1, 32),
+    block_repeats=st.integers(1, 4),
+    store_fraction=st.floats(0.0, 0.3),
+    camp_fraction=st.floats(0.0, 1.0),
+    camp_width=st.integers(1, 16),
+    camp_shared=st.booleans(),
+)
+
+
+class TestGeneratorProperties:
+    @given(profiles)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_lengths_and_nonnegative_lines(self, prof):
+        w = generate_workload(prof)
+        assert w.num_ctas == prof.num_ctas
+        for s in w.streams:
+            assert len(s) == prof.accesses_per_cta
+            assert (s.lines >= 0).all()
+            assert set(s.kinds.tolist()) <= {0, 1, 2, 3}
+
+    @given(profiles)
+    @settings(max_examples=30, deadline=None)
+    def test_generation_is_pure(self, prof):
+        w1 = generate_workload(prof)
+        w2 = generate_workload(prof)
+        for a, b in zip(w1.streams, w2.streams):
+            assert (a.lines == b.lines).all()
+            assert (a.kinds == b.kinds).all()
+
+    @given(profiles, st.floats(0.05, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_bounds(self, prof, scale):
+        w = generate_workload(prof, scale)
+        assert 1 <= w.num_ctas <= max(1, prof.num_ctas)

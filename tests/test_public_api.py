@@ -1,0 +1,27 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self, tiny_gpu):
+        """The README's three-line quickstart, on a tiny platform."""
+        from repro import DesignSpec, SimConfig, simulate, get_app
+
+        cfg = SimConfig(gpu=tiny_gpu, scale=0.02)
+        app = get_app("T-AlexNet")
+        baseline = simulate(app, DesignSpec.baseline(), cfg)
+        boosted = simulate(app, DesignSpec.clustered(8, 4, boost=2.0), cfg)
+        assert baseline.ipc > 0 and boosted.ipc > 0
+
+    def test_app_listing(self):
+        assert len(repro.APP_NAMES) == 28
+        assert len(repro.all_apps()) == 28
+        assert len(repro.replication_sensitive_apps()) == 12

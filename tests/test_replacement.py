@@ -1,0 +1,87 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, make_policy, policy_factory
+
+
+class TestLRU:
+    def test_insert_and_contains(self):
+        p = LRUPolicy()
+        p.insert(10)
+        assert 10 in p
+        assert 11 not in p
+        assert len(p) == 1
+
+    def test_evicts_least_recent(self):
+        p = LRUPolicy()
+        for line in (1, 2, 3):
+            p.insert(line)
+        assert p.victim() == 1
+        assert p.evict() == 1
+        assert len(p) == 2
+
+    def test_touch_moves_to_mru(self):
+        p = LRUPolicy()
+        for line in (1, 2, 3):
+            p.insert(line)
+        p.touch(1)
+        assert p.evict() == 2
+
+    def test_remove_specific_line(self):
+        p = LRUPolicy()
+        p.insert(1)
+        p.insert(2)
+        assert p.remove(1)
+        assert not p.remove(1)
+        assert p.evict() == 2
+
+    def test_lines_iterates_lru_first(self):
+        p = LRUPolicy()
+        for line in (5, 6, 7):
+            p.insert(line)
+        p.touch(5)
+        assert list(p.lines()) == [6, 7, 5]
+
+
+class TestFIFO:
+    def test_evicts_in_insertion_order_despite_touches(self):
+        p = FIFOPolicy()
+        for line in (1, 2, 3):
+            p.insert(line)
+        p.touch(1)  # FIFO ignores recency
+        assert p.victim() == 1
+        assert p.evict() == 1
+        assert p.evict() == 2
+
+    def test_remove_is_lazy_but_correct(self):
+        p = FIFOPolicy()
+        for line in (1, 2, 3):
+            p.insert(line)
+        assert p.remove(2)
+        assert 2 not in p
+        assert len(p) == 2
+        assert p.evict() == 1
+        assert p.evict() == 3
+
+    def test_remove_head_then_victim_skips_stale(self):
+        p = FIFOPolicy()
+        p.insert(1)
+        p.insert(2)
+        p.remove(1)
+        assert p.victim() == 2
+
+
+class TestFactory:
+    def test_make_policy(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("fifo"), FIFOPolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru")
+
+    def test_policy_factory_returns_class(self):
+        assert policy_factory("lru") is LRUPolicy
+        with pytest.raises(ValueError):
+            policy_factory("bad")

@@ -1,0 +1,56 @@
+"""Tests for the markdown comparison report."""
+
+import pytest
+
+from repro.analysis.report import comparison_report
+from repro.core.designs import DesignSpec
+from repro.sim.results import SimResult
+from repro.sim.system import simulate
+
+
+def make(app="a", design="d", cycles=100.0, instructions=1000):
+    r = SimResult(app=app, design=design)
+    r.cycles = cycles
+    r.instructions = instructions
+    r.l1.load_hits = 30
+    r.l1.load_misses = 70
+    r.mean_replicas = 5.0
+    r.load_rtt_sum = 2000.0
+    r.load_rtt_count = 10
+    return r
+
+
+class TestReport:
+    def test_contains_all_designs_and_speedups(self):
+        base = make(design="Baseline")
+        fast = make(design="Boost", cycles=50.0)
+        fast.l1.load_hits, fast.l1.load_misses = 90, 10
+        fast.mean_replicas = 1.0
+        text = comparison_report([base, fast])
+        assert "# a: design comparison" in text
+        assert "| Baseline | 1.00x" in text
+        assert "| Boost | 2.00x" in text
+        assert "## What moved" in text
+        assert "miss rate fell" in text
+        assert "Replication shrank" in text
+
+    def test_rejects_mixed_apps(self):
+        with pytest.raises(ValueError):
+            comparison_report([make(app="a"), make(app="b")])
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            comparison_report([make()])
+
+    def test_zero_ipc_baseline_rejected(self):
+        bad = make()
+        bad.instructions = 0
+        with pytest.raises(ValueError):
+            comparison_report([bad, make()])
+
+    def test_end_to_end_with_real_runs(self, tiny_config, shared_profile):
+        base = simulate(shared_profile, DesignSpec.baseline(), tiny_config)
+        sh = simulate(shared_profile, DesignSpec.shared(8), tiny_config)
+        text = comparison_report([base, sh])
+        assert "Sh8" in text
+        assert "x |" in text

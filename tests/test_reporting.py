@@ -1,0 +1,52 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.reporting import (
+    EXPERIMENT_INDEX,
+    build_experiments_md,
+    parse_summary_lines,
+)
+
+SAMPLE = """[figX] demo table
+a | b
+--+--
+1 | 2
+measured: speedup=1.500, miss=0.250
+paper:    speedup=1.750, extra=2.000
+"""
+
+
+class TestParse:
+    def test_parses_both_footers(self):
+        measured, paper = parse_summary_lines(SAMPLE)
+        assert measured == {"speedup": 1.5, "miss": 0.25}
+        assert paper == {"speedup": 1.75, "extra": 2.0}
+
+    def test_tolerates_missing_footers(self):
+        measured, paper = parse_summary_lines("just a table\n1 | 2\n")
+        assert measured == {} and paper == {}
+
+    def test_ignores_malformed_items(self):
+        measured, _ = parse_summary_lines("measured: ok=1.0, broken, bad=x\n")
+        assert measured == {"ok": 1.0}
+
+
+class TestBuild:
+    def test_index_covers_every_experiment(self):
+        ids = {e for e, _a, _d in EXPERIMENT_INDEX}
+        assert ids == set(EXPERIMENTS)
+
+    def test_document_from_results_dir(self, tmp_path):
+        (tmp_path / "fig01.txt").write_text(SAMPLE)
+        doc = build_experiments_md(tmp_path)
+        assert doc.startswith("# EXPERIMENTS")
+        assert "| speedup | 1.750 | 1.500 |" in doc
+        assert "| miss |  | 0.250 |" in doc  # paper blank
+        assert "| extra | 2.000 | |" in doc  # measured blank
+        # Experiments without outputs are flagged, not dropped.
+        assert doc.count("no benchmark output found") == len(EXPERIMENT_INDEX) - 1
+
+    def test_every_section_present(self, tmp_path):
+        doc = build_experiments_md(tmp_path)
+        for _exp, artifact, _desc in EXPERIMENT_INDEX:
+            assert artifact in doc

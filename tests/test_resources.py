@@ -1,0 +1,91 @@
+"""Unit tests for reservation servers."""
+
+import pytest
+
+from repro.sim.resources import Server, ServerGroup
+
+
+class TestServer:
+    def test_idle_server_serves_immediately(self):
+        s = Server("s", service=2.0, latency=10.0)
+        assert s.reserve(5.0) == 17.0  # start 5, busy 2, latency 10
+
+    def test_back_to_back_queueing(self):
+        s = Server("s", service=2.0)
+        assert s.reserve(0.0) == 2.0
+        # Arrives while busy: queued behind the first transaction.
+        assert s.reserve(0.0) == 4.0
+        assert s.reserve(1.0) == 6.0
+
+    def test_size_scales_occupancy(self):
+        s = Server("s", service=2.0, latency=1.0)
+        assert s.reserve(0.0, size=4) == 9.0  # 8 busy + 1 latency
+        assert s.next_free == 8.0
+
+    def test_gap_resets_queue(self):
+        s = Server("s", service=2.0)
+        s.reserve(0.0)
+        assert s.reserve(100.0) == 102.0
+
+    def test_busy_accounting_and_utilization(self):
+        s = Server("s", service=2.0)
+        s.reserve(0.0)
+        s.reserve(0.0)
+        assert s.busy_cycles == 4.0
+        assert s.num_served == 2
+        assert s.utilization(8.0) == 0.5
+        assert s.utilization(2.0) == 1.0  # clamped
+        assert s.utilization(0.0) == 0.0
+
+    def test_peek_start_does_not_reserve(self):
+        s = Server("s", service=2.0)
+        s.reserve(0.0)
+        assert s.peek_start(0.0) == 2.0
+        assert s.peek_start(5.0) == 5.0
+        assert s.num_served == 1
+
+    def test_reset(self):
+        s = Server("s", service=2.0)
+        s.reserve(0.0)
+        s.reset()
+        assert s.next_free == 0.0
+        assert s.busy_cycles == 0.0
+        assert s.num_served == 0
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError):
+            Server("bad", service=-1.0)
+        with pytest.raises(ValueError):
+            Server("bad", service=1.0, latency=-1.0)
+
+
+class TestServerGroup:
+    def test_indexing_and_len(self):
+        g = ServerGroup("g", 4, service=1.0)
+        assert len(g) == 4
+        assert g[2].name == "g[2]"
+        assert len(list(g)) == 4
+
+    def test_max_and_mean_utilization(self):
+        g = ServerGroup("g", 2, service=1.0)
+        g[0].reserve(0.0)
+        g[0].reserve(0.0)
+        g[1].reserve(0.0)
+        assert g.max_utilization(4.0) == pytest.approx(0.5)
+        assert g.mean_utilization(4.0) == pytest.approx(0.375)
+
+    def test_total_served(self):
+        g = ServerGroup("g", 3, service=1.0)
+        g[0].reserve(0.0)
+        g[2].reserve(0.0)
+        assert g.total_served() == 2
+
+    def test_reset_clears_all(self):
+        g = ServerGroup("g", 2, service=1.0)
+        g[0].reserve(0.0)
+        g.reset()
+        assert g.total_served() == 0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            ServerGroup("g", 0, service=1.0)

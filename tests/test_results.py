@@ -1,0 +1,63 @@
+"""Unit tests for the SimResult container."""
+
+import pytest
+
+from repro.sim.results import SimResult
+
+
+def make(app="a", design="d", cycles=100.0, instructions=500, **kw):
+    r = SimResult(app=app, design=design)
+    r.cycles = cycles
+    r.instructions = instructions
+    for k, v in kw.items():
+        setattr(r, k, v)
+    return r
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert make().ipc == 5.0
+        assert make(cycles=0.0).ipc == 0.0
+
+    def test_speedup(self):
+        base = make()
+        fast = make(cycles=50.0)
+        assert fast.speedup_vs(base) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_app(self):
+        with pytest.raises(ValueError):
+            make(app="a").speedup_vs(make(app="b"))
+
+    def test_speedup_zero_baseline(self):
+        with pytest.raises(ZeroDivisionError):
+            make().speedup_vs(make(cycles=0.0))
+
+    def test_rtt_mean(self):
+        r = make(load_rtt_sum=300.0, load_rtt_count=3)
+        assert r.load_rtt_mean == 100.0
+        assert make().load_rtt_mean == 0.0
+
+    def test_miss_rate_vs(self):
+        a, b = make(), make()
+        a.l1.load_hits, a.l1.load_misses = 50, 50
+        b.l1.load_hits, b.l1.load_misses = 75, 25
+        assert b.miss_rate_vs(a) == pytest.approx(0.5)
+
+    def test_miss_rate_vs_zero_baseline(self):
+        a, b = make(), make()
+        a.l1.load_hits = 10  # 0% miss
+        b.l1.load_hits = 10
+        assert b.miss_rate_vs(a) == 1.0
+        b.l1.load_misses = 5
+        assert b.miss_rate_vs(a) == float("inf")
+
+    def test_total_requests_and_flit_hops(self):
+        r = make(loads=10, stores=5, atomics=2, bypasses=1)
+        r.noc_traffic = [(100, 3.3, 2.0), (50, 12.3, 1.0)]
+        assert r.total_requests == 18
+        assert r.total_flit_hops == 150
+
+    def test_as_dict_and_str(self):
+        d = make().as_dict()
+        assert d["app"] == "a" and d["ipc"] == 5.0
+        assert "ipc" in str(make())

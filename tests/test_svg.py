@@ -1,0 +1,66 @@
+"""Tests for the SVG chart renderer."""
+
+import pytest
+
+from repro.analysis.svg import bar_chart, line_chart, write
+
+
+class TestBarChart:
+    def test_valid_svg_structure(self):
+        svg = bar_chart(["a", "b"], {"s1": [1.0, 2.0], "s2": [0.5, 1.5]},
+                        title="T", y_label="speedup")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "T" in svg
+        assert svg.count("<rect") >= 5  # background + legend + 4 bars
+
+    def test_one_bar_per_category_series(self):
+        svg = bar_chart(["a", "b", "c"], {"x": [1, 2, 3]})
+        # background + 3 bars + 1 legend swatch
+        assert svg.count("<rect") == 5
+
+    def test_escapes_markup(self):
+        svg = bar_chart(["<evil>"], {"a&b": [1.0]}, title="x<y")
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+        assert "a&amp;b" in svg
+
+    def test_baseline_reference_line(self):
+        with_line = bar_chart(["a"], {"s": [2.0]}, baseline=1.0)
+        without = bar_chart(["a"], {"s": [2.0]})
+        assert with_line.count("<line") == without.count("<line") + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            bar_chart(["a"], {})
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], {"s": [1.0]})
+
+
+class TestLineChart:
+    def test_polyline_per_series(self):
+        svg = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6
+
+    def test_markers_optional(self):
+        svg = line_chart({"a": [1, 2]}, markers=False)
+        assert "<circle" not in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]})
+
+
+class TestWrite:
+    def test_creates_parents_and_writes(self, tmp_path):
+        svg = bar_chart(["a"], {"s": [1.0]})
+        out = write(svg, tmp_path / "deep" / "chart.svg")
+        assert out.exists()
+        assert out.read_text() == svg

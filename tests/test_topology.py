@@ -1,0 +1,124 @@
+"""Unit tests for NoC topology construction and routing."""
+
+import pytest
+
+from repro.core.clusters import ClusterGeometry
+from repro.core.designs import DesignSpec
+from repro.noc.topology import NoCTopology
+
+
+def topo(spec, cores=80, l2=32, **kw):
+    geometry = None
+    if spec.is_decoupled:
+        geometry = ClusterGeometry.from_design(spec, cores, l2)
+    return NoCTopology(spec, cores, l2, cycles_per_flit=2.0, latency=8.0,
+                       geometry=geometry, **kw)
+
+
+class TestBaseline:
+    def test_single_pair_of_crossbars(self):
+        t = topo(DesignSpec.baseline())
+        assert len(t.noc2_req) == 1 and len(t.noc2_rep) == 1
+        assert not t.noc1_req
+        assert t.noc2_req[0].num_in == 80
+        assert t.noc2_req[0].num_out == 32
+
+    def test_routing_times(self):
+        t = topo(DesignSpec.baseline())
+        assert t.to_l2(0.0, 5, 7, 1) == 12.0  # 2 + 2 + 8
+        assert t.from_l2(0.0, 7, 5, 4) == 24.0  # 8 + 8 + 8
+
+
+class TestClustered:
+    def test_sh40_c10_shapes(self):
+        t = topo(DesignSpec.clustered(40, 10))
+        assert len(t.noc1_req) == 10
+        assert t.noc1_req[0].num_in == 8 and t.noc1_req[0].num_out == 4
+        assert len(t.noc2_req) == 4  # one per address range
+        assert t.noc2_req[0].num_in == 10 and t.noc2_req[0].num_out == 8
+
+    def test_boost_halves_noc1_only(self):
+        t = topo(DesignSpec.clustered(40, 10, boost=2.0))
+        assert t.noc1_req[0].cycles_per_flit == 1.0
+        assert t.noc2_req[0].cycles_per_flit == 2.0
+
+    def test_noc1_routing_stays_in_cluster(self):
+        t = topo(DesignSpec.clustered(40, 10))
+        t.core_to_dcl1(0.0, 9, 5, 1)  # core 9 (cluster 1) -> dcl1 5 (cluster 1)
+        assert t.noc1_req[1].flit_hops == 1
+        assert all(xb.flit_hops == 0 for i, xb in enumerate(t.noc1_req) if i != 1)
+
+    def test_noc2_routing_uses_range_crossbar(self):
+        t = topo(DesignSpec.clustered(40, 10))
+        # DC-L1 5 homes range 1; L2 slice 9 is congruent to 1 mod 4.
+        t.to_l2(0.0, 5, 9, 1)
+        assert t.noc2_req[1].flit_hops == 1
+
+    def test_reply_path_mirrors_request_path(self):
+        t = topo(DesignSpec.clustered(40, 10))
+        t.from_l2(0.0, 9, 5, 4)
+        assert t.noc2_rep[1].flit_hops == 4
+        t.dcl1_to_core(0.0, 5, 9, 2)
+        assert t.noc1_rep[1].flit_hops == 2
+
+
+class TestPr40AndSh40:
+    def test_pr40_direct_links(self):
+        t = topo(DesignSpec.private(40))
+        assert len(t.noc1_req) == 40
+        assert t.noc1_req[0].num_in == 2 and t.noc1_req[0].num_out == 1
+        assert len(t.noc2_req) == 1
+        assert t.noc2_req[0].num_in == 40
+
+    def test_sh40_full_crossbars(self):
+        t = topo(DesignSpec.shared(40))
+        assert len(t.noc1_req) == 1
+        assert t.noc1_req[0].num_in == 80 and t.noc1_req[0].num_out == 40
+        assert t.noc2_req[0].num_in == 40 and t.noc2_req[0].num_out == 32
+
+
+class TestCDXBar:
+    def test_two_stage_shapes(self):
+        t = topo(DesignSpec.cdxbar())
+        assert len(t.noc2_req) == 10  # stage 1: per core group
+        assert t.noc2_req[0].num_in == 8 and t.noc2_req[0].num_out == 8
+        assert len(t.cdx2_req) == 8  # stage 2: per column
+        assert t.cdx2_req[0].num_in == 10 and t.cdx2_req[0].num_out == 4
+
+    def test_routing_crosses_both_stages(self):
+        t = topo(DesignSpec.cdxbar())
+        t.to_l2(0.0, 12, 17, 1)  # core 12 -> group 1; slice 17 -> column 1
+        assert t.noc2_req[1].flit_hops == 1
+        assert t.cdx2_req[1].flit_hops == 1
+        t.from_l2(0.0, 17, 12, 4)
+        assert t.cdx2_rep[1].flit_hops == 4
+        assert t.noc2_rep[1].flit_hops == 4
+
+    def test_invalid_grouping_rejected(self):
+        with pytest.raises(ValueError):
+            NoCTopology(DesignSpec.cdxbar(), 81, 32, 2.0, 8.0)
+
+
+class TestSingleL1:
+    def test_aggregate_bandwidth_port(self):
+        t = topo(DesignSpec.single_l1())
+        # The funnel's node-side port has 1/num_cores the per-flit service.
+        assert t.noc1_req[0].out_ports[0].service == pytest.approx(2.0 / 80)
+        assert t.noc1_rep[0].in_ports[0].service == pytest.approx(2.0 / 80)
+
+
+class TestMetrics:
+    def test_total_flit_hops(self):
+        t = topo(DesignSpec.clustered(40, 10))
+        t.core_to_dcl1(0.0, 0, 0, 3)
+        t.to_l2(0.0, 0, 0, 2)
+        assert t.total_flit_hops() == 5
+
+    def test_reply_link_utilization_source(self):
+        t = topo(DesignSpec.baseline())
+        t.from_l2(0.0, 0, 0, 4)
+        assert t.max_core_reply_link_utilization(16.0) > 0
+
+    def test_geometry_required_for_dcl1(self):
+        with pytest.raises(ValueError):
+            NoCTopology(DesignSpec.private(40), 80, 32, 2.0, 8.0, geometry=None)

@@ -1,0 +1,49 @@
+"""Tests for the post-run invariant auditor."""
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.sim.system import GPUSystem
+from repro.sim.validation import assert_clean, audit
+
+
+class TestAudit:
+    def test_clean_run_has_no_findings(self, tiny_config, shared_profile):
+        system = GPUSystem(shared_profile, DesignSpec.clustered(8, 4), tiny_config)
+        system.run()
+        assert audit(system) == []
+        assert_clean(system)
+
+    def test_every_design_audits_clean(self, tiny_config, streaming_profile):
+        for spec in (
+            DesignSpec.baseline(),
+            DesignSpec.private(8),
+            DesignSpec.shared(8),
+            DesignSpec.cdxbar(),
+            DesignSpec.single_l1(),
+            DesignSpec.baseline(perfect_l1=True),
+        ):
+            system = GPUSystem(streaming_profile, spec, tiny_config)
+            system.run()
+            assert audit(system) == [], spec.label
+
+    def test_unrun_system_flagged(self, tiny_config, shared_profile):
+        system = GPUSystem(shared_profile, DesignSpec.baseline(), tiny_config)
+        findings = audit(system)
+        assert any("has not run" in f for f in findings)
+        with pytest.raises(AssertionError):
+            assert_clean(system)
+
+    def test_corrupted_counters_detected(self, tiny_config, shared_profile):
+        system = GPUSystem(shared_profile, DesignSpec.baseline(), tiny_config)
+        system.run()
+        system.result.loads += 5  # fake a conservation bug
+        findings = audit(system)
+        assert any("issued" in f for f in findings)
+
+    def test_replication_bound_violation_detected(self, tiny_config, shared_profile):
+        system = GPUSystem(shared_profile, DesignSpec.shared(8), tiny_config)
+        system.run()
+        system.result.replication_ratio = 0.5  # impossible for Sh
+        findings = audit(system)
+        assert any("fully shared" in f for f in findings)

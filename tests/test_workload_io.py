@@ -1,0 +1,126 @@
+"""Unit tests for workload serialization and external-trace adapters."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.request import AccessKind
+from repro.workloads.external import (
+    timing_profile,
+    workload_from_arrays,
+    workload_from_streams,
+)
+from repro.workloads.generator import generate_workload
+from repro.workloads.io import load_csv, load_npz, save_csv, save_npz
+from repro.workloads.profile import AppProfile
+
+
+@pytest.fixture
+def workload():
+    prof = AppProfile(
+        name="io-test", num_ctas=12, accesses_per_cta=32,
+        shared_lines=64, shared_fraction=0.6, store_fraction=0.2,
+        private_lines=32, block_lines=4, block_repeats=2,
+    )
+    return generate_workload(prof)
+
+
+def assert_same_workload(a, b):
+    assert a.profile == b.profile
+    assert a.num_ctas == b.num_ctas
+    for sa, sb in zip(a.streams, b.streams):
+        assert sa.cta_id == sb.cta_id
+        assert np.array_equal(sa.lines, sb.lines)
+        assert np.array_equal(sa.kinds, sb.kinds)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, workload, tmp_path):
+        path = tmp_path / "w.npz"
+        save_npz(workload, path)
+        assert_same_workload(workload, load_npz(path))
+
+    def test_preserves_profile_fields(self, workload, tmp_path):
+        path = tmp_path / "w.npz"
+        save_npz(workload, path)
+        loaded = load_npz(path)
+        assert loaded.profile.wavefront_slots == workload.profile.wavefront_slots
+        assert loaded.profile.mlp == workload.profile.mlp
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, workload, tmp_path):
+        path = tmp_path / "w.csv"
+        save_csv(workload, path)
+        assert_same_workload(workload, load_csv(path))
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "w.csv"
+        path.write_text("cta,index,line,kind\n0,0,1,0\n")
+        with pytest.raises(ValueError, match="profile header"):
+            load_csv(path)
+
+
+class TestExternalStreams:
+    def test_plain_line_streams(self):
+        w = workload_from_streams([[1, 2, 3], [4, 5]], name="x")
+        assert w.num_ctas == 2
+        assert w.streams[0].lines.tolist() == [1, 2, 3]
+        assert w.profile.name == "x"
+        assert w.profile.num_ctas == 2
+
+    def test_byte_addresses_converted(self):
+        w = workload_from_streams([[256, 384]], unit="bytes", line_bytes=128)
+        assert w.streams[0].lines.tolist() == [2, 3]
+
+    def test_named_kinds(self):
+        w = workload_from_streams([([1, 2, 3], ["load", "store", "atomic"])])
+        assert w.streams[0].kinds.tolist() == [
+            int(AccessKind.LOAD), int(AccessKind.STORE), int(AccessKind.ATOMIC)
+        ]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            workload_from_streams([])
+        with pytest.raises(ValueError):
+            workload_from_streams([[]])
+        with pytest.raises(ValueError):
+            workload_from_streams([[-1]])
+        with pytest.raises(ValueError):
+            workload_from_streams([([1], ["fetch"])])
+        with pytest.raises(ValueError):
+            workload_from_streams([([1], [9])])
+        with pytest.raises(ValueError):
+            workload_from_streams([[1]], unit="pages")
+
+    def test_timing_profile_carries_knobs(self):
+        p = timing_profile("t", wavefront_slots=4, compute_gap=2.0, mlp=5,
+                           request_bytes=64)
+        assert (p.wavefront_slots, p.compute_gap, p.mlp, p.request_bytes) == (4, 2.0, 5, 64)
+
+
+class TestExternalArrays:
+    def test_groups_by_cta_preserving_order(self):
+        lines = np.array([10, 20, 30, 40, 50])
+        cta = np.array([1, 0, 1, 0, 1])
+        w = workload_from_arrays(lines, cta)
+        assert w.streams[0].lines.tolist() == [20, 40]
+        assert w.streams[1].lines.tolist() == [10, 30, 50]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            workload_from_arrays(np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError):
+            workload_from_arrays(np.array([1]), np.array([0]), kinds=np.array([0, 1]))
+
+
+class TestExternalSimulation:
+    def test_external_workload_simulates(self, tiny_config):
+        """An externally built trace runs through the full system."""
+        from repro.core.designs import DesignSpec
+        from repro.sim.system import simulate
+
+        rng = np.random.default_rng(7)
+        streams = [rng.integers(0, 128, size=40).tolist() for _ in range(32)]
+        w = workload_from_streams(streams, name="ext", wavefront_slots=4)
+        res = simulate(w, DesignSpec.clustered(8, 4), tiny_config)
+        assert res.total_requests == sum(len(s) for s in streams)

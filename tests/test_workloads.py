@@ -1,0 +1,245 @@
+"""Unit tests for workload profiles, regions, generation and the suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.request import AccessKind
+from repro.workloads import regions
+from repro.workloads.generator import generate_workload
+from repro.workloads.profile import AppProfile
+from repro.workloads.suite import (
+    APP_NAMES,
+    POOR_PERFORMING,
+    REPLICATION_SENSITIVE,
+    all_apps,
+    get_app,
+    replication_insensitive_apps,
+    replication_sensitive_apps,
+)
+
+
+class TestProfileValidation:
+    def base(self, **kw):
+        defaults = dict(name="p", shared_lines=100, shared_fraction=0.5)
+        defaults.update(kw)
+        return AppProfile(**defaults)
+
+    def test_valid_profile(self):
+        p = self.base()
+        assert p.total_accesses == p.num_ctas * p.accesses_per_cta
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            self.base(shared_fraction=1.2)
+        with pytest.raises(ValueError):
+            self.base(shared_fraction=0.7, neighbor_fraction=0.5)
+        with pytest.raises(ValueError):
+            self.base(store_fraction=0.5, atomic_fraction=0.4, bypass_fraction=0.2)
+
+    def test_shared_needs_lines(self):
+        with pytest.raises(ValueError):
+            AppProfile(name="p", shared_fraction=0.5, shared_lines=0)
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            AppProfile(name="")
+
+    def test_seed_deterministic_per_name(self):
+        assert self.base().seed == self.base().seed
+        assert self.base(name="a").seed != self.base(name="b").seed
+
+    def test_trace_variants_change_seed_only(self):
+        p = self.base()
+        v1 = p.variant(1)
+        assert v1.seed != p.seed
+        assert v1.name == p.name
+        assert v1.shared_lines == p.shared_lines
+        assert p.variant(0) == p
+        with pytest.raises(ValueError):
+            p.variant(-1)
+
+    def test_variant_traces_differ_but_share_shape(self):
+        from repro.workloads.generator import generate_workload
+        import numpy as np
+
+        p = self.base(num_ctas=8)
+        w0 = generate_workload(p)
+        w1 = generate_workload(p.variant(1))
+        assert w0.total_accesses == w1.total_accesses
+        assert any(
+            not np.array_equal(a.lines, b.lines)
+            for a, b in zip(w0.streams, w1.streams)
+        )
+
+    def test_scaled(self):
+        p = self.base(num_ctas=100)
+        assert p.scaled(0.5).num_ctas == 50
+        assert p.scaled(1.0) is p
+        assert p.scaled(0.001).num_ctas == 1  # never zero
+        with pytest.raises(ValueError):
+            p.scaled(0.0)
+
+    def test_imbalance_bounds(self):
+        with pytest.raises(ValueError):
+            self.base(imbalance=1.0)
+
+
+class TestRegions:
+    def test_regions_are_disjoint(self):
+        shared = regions.shared_line(10**6)
+        camp = regions.camp_line(10**4, 39, shared=True)
+        campp = regions.camp_line(10**4, 39, shared=False)
+        nb = regions.neighbor_window(10**4, 64)
+        priv = regions.private_window(10**4, 1024)
+        values = [shared, camp, campp, nb, priv]
+        assert len(set(values)) == len(values)
+        assert shared < regions.CAMP_BASE <= camp < regions.CAMP_PRIVATE_BASE
+        assert campp < regions.NEIGHBOR_BASE <= nb < regions.PRIVATE_BASE <= priv
+
+    def test_neighbor_windows_overlap_halfway(self):
+        a = regions.neighbor_window(0, 64)
+        b = regions.neighbor_window(1, 64)
+        assert b - a == 32
+
+    def test_camp_lines_restrict_residues(self):
+        lines = [regions.camp_line(k, r, True) for k in range(10) for r in range(4)]
+        assert {l % regions.CAMP_MODULUS for l in lines} == {0, 1, 2, 3}
+
+
+class TestGenerator:
+    def prof(self, **kw):
+        defaults = dict(
+            name="gen", num_ctas=16, accesses_per_cta=64,
+            shared_lines=100, shared_fraction=0.5,
+            private_lines=64, block_lines=8, block_repeats=2,
+        )
+        defaults.update(kw)
+        return AppProfile(**defaults)
+
+    def test_deterministic(self):
+        w1 = generate_workload(self.prof())
+        w2 = generate_workload(self.prof())
+        for s1, s2 in zip(w1.streams, w2.streams):
+            assert np.array_equal(s1.lines, s2.lines)
+            assert np.array_equal(s1.kinds, s2.kinds)
+
+    def test_stream_lengths(self):
+        w = generate_workload(self.prof())
+        assert all(len(s) == 64 for s in w.streams)
+        assert w.total_accesses == 16 * 64
+
+    def test_scale_cuts_ctas(self):
+        w = generate_workload(self.prof(), scale=0.5)
+        assert w.num_ctas == 8
+
+    def test_block_repeats_create_reuse(self):
+        w = generate_workload(self.prof(block_repeats=4))
+        s = w.streams[0]
+        unique = len(np.unique(s.lines))
+        assert unique < len(s) / 2  # heavy intra-stream reuse
+
+    def test_addresses_in_expected_regions(self):
+        w = generate_workload(self.prof())
+        for s in w.streams:
+            for line in s.lines:
+                in_shared = 0 <= line < 100
+                priv_base = regions.private_window(s.cta_id, 64)
+                in_private = priv_base <= line < priv_base + 64
+                assert in_shared or in_private
+
+    def test_store_fraction_roughly_respected(self):
+        w = generate_workload(self.prof(store_fraction=0.3, num_ctas=64))
+        kinds = np.concatenate([s.kinds for s in w.streams])
+        frac = np.mean(kinds == int(AccessKind.STORE))
+        assert 0.2 < frac < 0.4
+
+    def test_camping_restricts_home_residues(self):
+        w = generate_workload(
+            self.prof(camp_fraction=1.0, camp_width=4, camp_shared=True,
+                      shared_fraction=1.0)
+        )
+        lines = np.concatenate([s.lines for s in w.streams])
+        camp_lines = lines[lines >= regions.CAMP_BASE]
+        assert len(camp_lines) > 0
+        assert set(np.unique(camp_lines % regions.CAMP_MODULUS)) <= {0, 1, 2, 3}
+
+    def test_private_camping_disjoint_across_ctas(self):
+        w = generate_workload(
+            self.prof(camp_fraction=1.0, camp_width=4, camp_shared=False,
+                      shared_fraction=0.0)
+        )
+        sets = [set(s.lines.tolist()) for s in w.streams[:4]]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (sets[i] & sets[j])
+
+    def test_shared_locality_stays_in_region(self):
+        w = generate_workload(self.prof(shared_locality=0.8, private_lines=8,
+                                        shared_fraction=0.9))
+        for s in w.streams:
+            shared = s.lines[s.lines < 100]
+            assert len(shared) > 0
+            assert (shared >= 0).all() and (shared < 100).all()
+
+    def test_shared_locality_correlates_neighbors(self):
+        """Adjacent CTAs overlap more than distant CTAs in their shared
+        footprints when locality is on."""
+        prof = self.prof(shared_locality=0.9, num_ctas=32, accesses_per_cta=96,
+                         shared_fraction=1.0, shared_lines=400)
+        w = generate_workload(prof)
+
+        def shared_set(k):
+            return set(w.streams[k].lines[w.streams[k].lines < 400].tolist())
+
+        def overlap(a, b):
+            return len(a & b) / max(1, len(a | b))
+
+        near = overlap(shared_set(0), shared_set(1))
+        far = overlap(shared_set(0), shared_set(31))
+        assert near > far
+
+    def test_shared_locality_validation(self):
+        with pytest.raises(ValueError):
+            self.prof(shared_locality=1.0)
+
+    def test_core_weights(self):
+        w = generate_workload(self.prof(imbalance=0.5))
+        weights = w.core_weights(4)
+        assert len(weights) == 4
+        assert weights[0] == pytest.approx(0.5)
+        assert weights[-1] == pytest.approx(1.5)
+        assert generate_workload(self.prof()).core_weights(4) is None
+
+    def test_distinct_lines(self):
+        w = generate_workload(self.prof())
+        assert 0 < w.distinct_lines() <= w.total_accesses
+
+
+class TestSuite:
+    def test_28_applications(self):
+        assert len(APP_NAMES) == 28
+        assert len(all_apps()) == 28
+        assert len(set(APP_NAMES)) == 28
+
+    def test_12_sensitive_16_insensitive(self):
+        assert len(REPLICATION_SENSITIVE) == 12
+        assert len(replication_sensitive_apps()) == 12
+        assert len(replication_insensitive_apps()) == 16
+
+    def test_poor_performers_are_insensitive(self):
+        assert len(POOR_PERFORMING) == 5
+        assert not set(POOR_PERFORMING) & set(REPLICATION_SENSITIVE)
+
+    def test_five_suites_present(self):
+        prefixes = {n.split("-")[0] for n in APP_NAMES}
+        assert prefixes == {"C", "R", "S", "P", "T"}
+
+    def test_get_app(self):
+        assert get_app("T-AlexNet").name == "T-AlexNet"
+        with pytest.raises(KeyError):
+            get_app("Z-Nope")
+
+    def test_all_profiles_generate(self):
+        for prof in all_apps():
+            w = generate_workload(prof, scale=0.02)
+            assert w.total_accesses > 0
