@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +22,23 @@ bench-out:
 
 bench-quick:
 	REPRO_SCALE=0.25 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Static analysis: SimLint always runs (no dependencies beyond the repo);
+# ruff/mypy run when installed (pip install -e .[dev]) and are skipped
+# with a notice otherwise, so the target works in minimal containers.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src/repro
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else echo "ruff not installed - skipping (pip install -e .[dev])"; fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else echo "mypy not installed - skipping (pip install -e .[dev])"; fi
+
+# Run the simulator-facing test suites with the SimSanitizer ledger on.
+sanitize-test:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -q tests/test_sanitizer.py \
+		tests/test_system.py tests/test_validation.py tests/test_experiments.py
 
 figures:
 	$(PYTHON) examples/paper_figures.py --all --scale $(SCALE)

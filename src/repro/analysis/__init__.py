@@ -1,7 +1,12 @@
-"""Metrics, classification and tabulation helpers for the experiments."""
+"""Metrics, classification and tabulation helpers for the experiments,
+plus the correctness-analysis subsystem: SimLint (static AST lint pass,
+:mod:`repro.analysis.simlint`) and the SimSanitizer resource ledger
+(:mod:`repro.analysis.sanitizer`).  See ``docs/analysis.md``."""
 
 from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
 from repro.analysis.metrics import amean, geomean, normalize, s_curve
+from repro.analysis.sanitizer import ResourceLedger, SanitizerError, sanitize_from_env
+from repro.analysis.simlint import LintFinding, LintRule, Severity, lint_source, run_lint
 from repro.analysis.tables import format_table, percent, ratio
 
 __all__ = [
@@ -15,4 +20,12 @@ __all__ = [
     "format_table",
     "percent",
     "ratio",
+    "ResourceLedger",
+    "SanitizerError",
+    "sanitize_from_env",
+    "LintFinding",
+    "LintRule",
+    "Severity",
+    "lint_source",
+    "run_lint",
 ]

@@ -8,14 +8,14 @@ terminals, CI logs, and the rendered ``benchmarks/results`` files.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def ascii_curve(
     values: Sequence[float],
     height: int = 10,
-    y_min: float = None,
-    y_max: float = None,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
     marker: str = "*",
 ) -> str:
     """Render one series as an ASCII chart (index on x, value on y)."""

@@ -155,6 +155,10 @@ class SetAssociativeCache:
         self.policy_name = policy
         self._sets = [make_policy(policy) for _ in range(num_sets)]
         self.stats = CacheStats()
+        # SimSanitizer hook: when a ResourceLedger is attached, installs
+        # are checked against the set's associativity *at install time*
+        # (continuous version of the post-run capacity audit).
+        self.ledger = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -234,6 +238,11 @@ class SetAssociativeCache:
         self.stats.installs += 1
         if self.directory is not None:
             self.directory.on_install(line, self.cache_id)
+        if self.ledger is not None and len(s) > self.assoc:
+            self.ledger.violation(
+                f"{self.name}: set {self.set_index(line)} holds {len(s)} lines "
+                f"(> {self.assoc}-way) after installing {line:#x}"
+            )
         return victim
 
     def invalidate(self, line: int) -> bool:

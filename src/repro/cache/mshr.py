@@ -44,6 +44,11 @@ class MSHRFile:
         self.max_merged = max_merged
         self._entries: dict = {}
         self.stalled: deque = deque()
+        # SimSanitizer hooks: when a ResourceLedger is attached, every
+        # entry allocate/release is mirrored in it so leaks and double
+        # frees are caught and attributed (see repro.analysis.sanitizer).
+        self.ledger = None
+        self.ledger_scope = "mshr"
         # statistics
         self.primary_misses = 0
         self.secondary_misses = 0
@@ -81,6 +86,12 @@ class MSHRFile:
                 return "stalled"
             entry.waiters.append(waiter)
             self.secondary_misses += 1
+            if self.ledger is not None:
+                from repro.analysis.sanitizer import describe_owner
+
+                self.ledger.note(
+                    self.ledger_scope, line, f"merged {describe_owner(waiter)}"
+                )
             return "merged"
         if self.full:
             self.stalled.append(waiter)
@@ -92,11 +103,17 @@ class MSHRFile:
         self.primary_misses += 1
         if len(self._entries) > self.peak_occupancy:
             self.peak_occupancy = len(self._entries)
+        if self.ledger is not None:
+            self.ledger.acquire(self.ledger_scope, line, waiter)
         return "new"
 
     def release(self, line: int) -> List:
         """The fill for ``line`` returned; frees the entry and returns all
         waiters to be resumed."""
+        if self.ledger is not None:
+            # Raises an attributed SanitizerError on double-free, before
+            # the functional state is touched.
+            self.ledger.release(self.ledger_scope, line)
         entry = self._entries.pop(line, None)
         if entry is None:
             raise KeyError(f"release of line {line:#x} with no MSHR entry")

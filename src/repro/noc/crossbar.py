@@ -48,6 +48,14 @@ class Crossbar:
         self._in = self.in_ports.servers
         self._out = self.out_ports.servers
         self.flit_hops = 0
+        # SimSanitizer hook: when a ResourceLedger is attached, every port
+        # reservation is validated (finite/ordered times, positive flit
+        # counts, no runaway holds) the moment it is made.
+        self._ledger = None
+
+    def attach_sanitizer(self, ledger) -> None:
+        """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`."""
+        self._ledger = ledger
 
     def traverse(self, now: float, in_port: int, out_port: int, flits: int) -> float:
         """Send ``flits`` flits from ``in_port`` to ``out_port``.
@@ -57,12 +65,20 @@ class Crossbar:
         """
         self.flit_hops += flits
         t_in = self._in[in_port].reserve(now, flits)
-        return self._out[out_port].reserve(t_in, flits)
+        t_out = self._out[out_port].reserve(t_in, flits)
+        if self._ledger is not None:
+            self._ledger.check_reservation(
+                f"{self.name}[{in_port}->{out_port}]", now, flits, t_out
+            )
+        return t_out
 
     def inject_out(self, now: float, out_port: int, flits: int) -> float:
         """Reserve only the output port (for direct-link degenerate cases)."""
         self.flit_hops += flits
-        return self.out_ports[out_port].reserve(now, flits)
+        t_out = self.out_ports[out_port].reserve(now, flits)
+        if self._ledger is not None:
+            self._ledger.check_reservation(f"{self.name}[->{out_port}]", now, flits, t_out)
+        return t_out
 
     def max_out_utilization(self, total_cycles: float) -> float:
         """Max output-port (reply-link) utilization — the Fig. 2 NoC metric."""

@@ -19,7 +19,7 @@ SRAM of the same technology).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 #: mm^2 per byte of SRAM at 22 nm (CACTI-6.5-flavoured ballpark).
 BIT_AREA_MM2_PER_BYTE = 1.0e-6 * 140
@@ -34,7 +34,9 @@ QUEUE_ENTRIES = 4
 QUEUE_ENTRY_BYTES = 128
 
 
-def cache_area_mm2(total_bytes: int, num_banks: int, reference_total_bytes: int = None) -> float:
+def cache_area_mm2(
+    total_bytes: int, num_banks: int, reference_total_bytes: Optional[int] = None
+) -> float:
     """Area of a cache level of ``total_bytes`` split into ``num_banks``.
 
     ``reference_total_bytes`` anchors the per-bank overhead (defaults to

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -119,7 +120,7 @@ class SimConfig:
     cta_scheduler: str = "round_robin"
     seed: int = 0
     # Override the L1/DC-L1 access latency (Figure 19b sweep); None = model.
-    l1_latency_override: float = None
+    l1_latency_override: Optional[float] = None
 
     # ---- ablation knobs (Section 6 of DESIGN.md) ----
     # Home-DC-L1 selection: "interleave" (default, works for any M) or
@@ -142,7 +143,13 @@ class SimConfig:
     # is carried by reservation delays); an int enables credit-based
     # backpressure — cores stall when a node's queue is full, which
     # sharpens camping hotspots.
-    dcl1_queue_depth: int = None
+    dcl1_queue_depth: Optional[int] = None
+
+    # Enable the SimSanitizer resource ledger: continuous leak /
+    # double-free / schedule-after-drain checking with per-request
+    # attribution (see repro.analysis.sanitizer and docs/analysis.md).
+    # Also enabled by the REPRO_SANITIZE=1 environment variable.
+    sanitize: bool = False
 
     max_events: int = 200_000_000
 

@@ -12,7 +12,10 @@ request-lifecycle callbacks onto it.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable
+
+_INF = math.inf
 
 
 class Engine:
@@ -24,14 +27,33 @@ class Engine:
         self.now = 0.0
         self.events_processed = 0
         self.max_events = max_events
+        # SimSanitizer hooks (see repro.analysis.sanitizer): when a ledger
+        # is attached, scheduling after the queue drained is flagged as a
+        # lifecycle bug instead of silently re-animating the simulation.
+        self._sanitizer = None
+        self._drained = False
+
+    def attach_sanitizer(self, ledger) -> None:
+        """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`."""
+        self._sanitizer = ledger
 
     def schedule(self, time: float, callback: Callable[[Any], None], payload: Any = None) -> None:
         """Schedule ``callback(payload)`` to run at simulated ``time``.
 
         Scheduling in the past is a modelling bug and raises immediately.
+        So does a NaN or infinite timestamp: NaN compares False against
+        everything (a bare ``time < now`` check silently admits it) and
+        would corrupt the heap's ordering invariant for every later event.
+        The chained comparison below rejects past, NaN and +/-inf times in
+        one branch on the hot path.
         """
-        if time < self.now:
-            raise ValueError(f"cannot schedule event at {time} before now={self.now}")
+        if not (self.now <= time < _INF):
+            raise ValueError(
+                f"cannot schedule event at {time!r} (now={self.now}): "
+                "event times must be finite and not in the past"
+            )
+        if self._sanitizer is not None and self._drained:
+            self._sanitizer.scheduled_after_drain(time, callback, payload)
         heapq.heappush(self._heap, (time, self._seq, callback, payload))
         self._seq += 1
 
@@ -57,6 +79,7 @@ class Engine:
                     f"event budget exceeded ({self.max_events}); "
                     "likely a livelock in the request state machine"
                 )
+        self._drained = True
         return self.now
 
     def run_until(self, deadline: float) -> float:

@@ -30,6 +30,7 @@ import math
 from collections import deque
 from typing import List, Optional, Union
 
+from repro.analysis.sanitizer import sanitize_from_env
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.directory import ReplicationDirectory
 from repro.cache.mshr import MSHRFile
@@ -107,6 +108,35 @@ class GPUSystem:
         else:
             self._node_credits = None
             self._node_waiters = None
+
+        # Opt-in SimSanitizer: mirror every acquire/release-shaped resource
+        # in a central ledger so leaks/double-frees/lifecycle bugs surface
+        # immediately, attributed to the owning request (docs/analysis.md).
+        self._ledger = None
+        self._sanitized_completions = 0
+        if self.cfg.sanitize or sanitize_from_env():
+            self._attach_sanitizer()
+
+    def _attach_sanitizer(self) -> None:
+        from repro.analysis.sanitizer import ResourceLedger
+
+        ledger = ResourceLedger(clock=lambda: self.engine.now)
+        self._ledger = ledger
+        self.engine.attach_sanitizer(ledger)
+        for i, mshr in enumerate(self.l1_mshrs):
+            mshr.ledger = ledger
+            mshr.ledger_scope = f"l1-mshr[{i}]"
+        for s in self.l2_slices:
+            s.mshr.ledger = ledger
+            s.mshr.ledger_scope = f"l2-mshr[{s.slice_id}]"
+        for cache in self.l1_caches:
+            cache.ledger = ledger
+        for xb in (
+            self.topo.noc1_req + self.topo.noc1_rep
+            + self.topo.noc2_req + self.topo.noc2_rep
+            + self.topo.cdx2_req + self.topo.cdx2_rep
+        ):
+            xb.attach_sanitizer(ledger)
 
     # ------------------------------------------------------------------ build
 
@@ -229,6 +259,11 @@ class GPUSystem:
                     core.active_wavefronts += 1
                     self.engine.schedule(0.0, self._wf_issue, wf)
         self.engine.run()
+        if self._ledger is not None:
+            # Checked before the bare outstanding-count guard below: a
+            # leak that strands requests should surface as an attributed
+            # per-resource report, not as an opaque count mismatch.
+            self._ledger.assert_drained()
         if self.outstanding != 0:
             raise RuntimeError(
                 f"simulation drained with {self.outstanding} requests outstanding"
@@ -270,6 +305,10 @@ class GPUSystem:
         t = core.issue_port.reserve(self.engine.now, 1.0 + wf.compute_gap)
         req.issue_time = t
         self.outstanding += 1
+        if self._ledger is not None:
+            # The ledger keeps a reference to req, so the id() key cannot
+            # be recycled while the hold is live.
+            self._ledger.acquire("request", id(req), req)
         if kind == AccessKind.LOAD:
             self.result.loads += 1
         elif kind == AccessKind.STORE:
@@ -318,6 +357,8 @@ class GPUSystem:
         n = req.dcl1_id
         if credits[n] > 0:
             credits[n] -= 1
+            if self._ledger is not None:
+                self._ledger.acquire("dcl1-q1", (n, id(req)), req)
             self._dispatch_to_node(req, t)
         else:
             self._node_waiters[n].append(req)
@@ -332,17 +373,24 @@ class GPUSystem:
             t2 = self.topo.to_l2(t1, req.dcl1_id, req.l2_id, 1)
             self.engine.schedule(t2, self._at_l2, req)
             if self._node_credits is not None:
-                self.engine.schedule(t1, self._release_node, req.dcl1_id)
+                self.engine.schedule(t1, self._release_node, req)
         else:
             self.engine.schedule(t1, self._l1_access, req)
 
-    def _release_node(self, n: int) -> None:
-        """Free one Q1 slot of node ``n``; admit the oldest waiter if any."""
+    def _release_node(self, req: MemoryRequest) -> None:
+        """Free the Q1 slot held by ``req``; admit the oldest waiter if any
+        (the freed credit transfers directly to the admitted waiter)."""
         if self._node_credits is None:
             return
+        n = req.dcl1_id
+        if self._ledger is not None:
+            self._ledger.release("dcl1-q1", (n, id(req)))
         waiters = self._node_waiters[n]
         if waiters:
-            self._dispatch_to_node(waiters.popleft(), self.engine.now)
+            nxt = waiters.popleft()
+            if self._ledger is not None:
+                self._ledger.acquire("dcl1-q1", (n, id(nxt)), nxt)
+            self._dispatch_to_node(nxt, self.engine.now)
         else:
             self._node_credits[n] += 1
 
@@ -358,7 +406,7 @@ class GPUSystem:
             # The request leaves Q1 once the (pipelined) bank accepts it —
             # occupancy, not access latency, holds the queue slot.
             free_at = max(self.engine.now, t - self.l1_banks[idx].latency)
-            self.engine.schedule(free_at, self._release_node, idx)
+            self.engine.schedule(free_at, self._release_node, req)
         cache = self.l1_caches[idx]
         filters = self.l1_filters
         if req.kind == AccessKind.LOAD:
@@ -544,6 +592,11 @@ class GPUSystem:
     def _complete(self, req: MemoryRequest) -> None:
         now = self.engine.now
         self.outstanding -= 1
+        if self._ledger is not None:
+            self._ledger.release("request", id(req))
+            self._sanitized_completions += 1
+            if self._sanitized_completions % 4096 == 0:
+                self._live_audit()
         if req.kind == AccessKind.LOAD:
             self.result.load_rtt_sum += now - req.issue_time
             self.result.load_rtt_count += 1
@@ -551,6 +604,22 @@ class GPUSystem:
             wf = req.wavefront
             wf.outstanding -= 1
             self._schedule_issue(wf, now)
+
+    def _live_audit(self) -> None:
+        """Continuous (mid-run) audit in sanitize mode: structural checks
+        that must hold at every point of the run, not only at drain (the
+        in-flight counterpart of :func:`repro.sim.validation.audit`)."""
+        from repro.sim.validation import live_audit
+
+        findings = live_audit(self)
+        tracked = self._ledger.outstanding("request")
+        if tracked != self.outstanding:
+            findings.append(
+                f"ledger tracks {tracked} in-flight requests "
+                f"but system.outstanding={self.outstanding}"
+            )
+        if findings:
+            self._ledger.violation("live audit failed:\n  " + "\n  ".join(findings))
 
     # -------------------------------------------------------------- collect
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import csv
 import math
 import pathlib
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.gpu.request import AccessKind
 

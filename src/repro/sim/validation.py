@@ -1,4 +1,4 @@
-"""Post-run invariant auditing.
+"""Invariant auditing — post-run and continuous.
 
 :func:`audit` inspects a finished :class:`~repro.sim.system.GPUSystem` and
 checks the structural invariants a correct run must satisfy — request
@@ -6,6 +6,13 @@ conservation, stats consistency, directory/capacity agreement, replication
 bounds implied by the design.  Tests use it after every integration run;
 it is also handy when developing new designs or workload models
 (``simulate(..., )`` then ``audit(system)`` in a debugger).
+
+:func:`live_audit` is the *continuous* subset: invariants that must hold
+at every instant of a run, not only at drain.  The SimSanitizer
+(``SimConfig(sanitize=True)``, see :mod:`repro.analysis.sanitizer`) calls
+it periodically mid-run, so a corrupted cache set or a diverged directory
+is reported thousands of events after the bug — not after a livelocked
+500M-event budget.
 
 Each violated invariant produces one human-readable finding; an empty list
 means the run is clean.  :func:`assert_clean` raises on findings.
@@ -112,6 +119,35 @@ def audit(system) -> List[str]:
     ):
         check(0.0 <= value <= 1.0, f"{name} out of [0,1]: {value}")
 
+    return findings
+
+
+def live_audit(system) -> List[str]:
+    """Invariants that must hold mid-run (the continuous audit subset).
+
+    Unlike :func:`audit` this never assumes the system has drained, so the
+    sanitizer can call it while requests are still in flight.
+    """
+    findings: List[str] = []
+    if system.outstanding < 0:
+        findings.append(f"outstanding request count went negative ({system.outstanding})")
+    for cache in system.l1_caches:
+        occ = cache.occupancy()
+        if occ > cache.num_lines:
+            findings.append(f"{cache.name} over capacity ({occ} > {cache.num_lines})")
+    if not system.spec.perfect_l1:
+        resident = sum(c.occupancy() for c in system.l1_caches)
+        copies = system.l1_directory.total_copies()
+        if copies != resident:
+            findings.append(
+                f"directory copies {copies} != resident lines {resident}"
+            )
+    for mshr in system.l1_mshrs:
+        if len(mshr) > mshr.num_entries:
+            findings.append("L1-level MSHR file over capacity")
+    for s in system.l2_slices:
+        if len(s.mshr) > s.mshr.num_entries:
+            findings.append(f"L2 slice {s.slice_id} MSHR file over capacity")
     return findings
 
 
