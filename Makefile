@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -34,6 +34,12 @@ lint:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy; \
 	else echo "mypy not installed - skipping (pip install -e .[dev])"; fi
+
+# SimRace: static same-cycle ordering-hazard pass over the package, then a
+# small shadow-shuffle replay that confirms the shipped model is order-free.
+race:
+	PYTHONPATH=src $(PYTHON) -m repro.cli race src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.cli race --confirm --app P-2MM --design pr40 --scale 0.1 -k 3
 
 # Run the simulator-facing test suites with the SimSanitizer ledger on.
 sanitize-test:

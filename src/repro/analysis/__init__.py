@@ -1,12 +1,23 @@
 """Metrics, classification and tabulation helpers for the experiments,
 plus the correctness-analysis subsystem: SimLint (static AST lint pass,
-:mod:`repro.analysis.simlint`) and the SimSanitizer resource ledger
-(:mod:`repro.analysis.sanitizer`).  See ``docs/analysis.md``."""
+:mod:`repro.analysis.simlint`), the SimSanitizer resource ledger
+(:mod:`repro.analysis.sanitizer`), and SimRace (static + dynamic
+same-cycle ordering-hazard detection, :mod:`repro.analysis.simrace`).
+See ``docs/analysis.md``."""
 
 from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
 from repro.analysis.metrics import amean, geomean, normalize, s_curve
 from repro.analysis.sanitizer import ResourceLedger, SanitizerError, sanitize_from_env
 from repro.analysis.simlint import LintFinding, LintRule, Severity, lint_source, run_lint
+from repro.analysis.simrace import (
+    ConfirmReport,
+    RaceFinding,
+    analyze_source,
+    confirm_races,
+    diff_fingerprints,
+    race_rule_table,
+    run_race,
+)
 from repro.analysis.tables import format_table, percent, ratio
 
 __all__ = [
@@ -28,4 +39,11 @@ __all__ = [
     "Severity",
     "lint_source",
     "run_lint",
+    "ConfirmReport",
+    "RaceFinding",
+    "analyze_source",
+    "confirm_races",
+    "diff_fingerprints",
+    "race_rule_table",
+    "run_race",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the library's main entry points::
+Six subcommands cover the library's main entry points::
 
     repro simulate T-AlexNet --design Sh40+C10+Boost --scale 0.5
     repro simulate T-AlexNet --sanitize        # run under the SimSanitizer
@@ -8,6 +8,8 @@ Five subcommands cover the library's main entry points::
     repro figures fig14 fig16
     repro sweep P-2MM --scale 0.5
     repro lint src/repro                       # SimLint static analysis
+    repro race --static src/repro              # SimRace ordering-hazard scan
+    repro race --confirm --app P-2MM -k 5      # SimRace shadow-shuffle replay
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.  Design names accept the paper's labels
@@ -206,6 +208,59 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_race(args) -> int:
+    import os
+
+    from repro.analysis.simlint import Severity
+    from repro.analysis.simrace import confirm_races, race_rule_table, run_race
+
+    if args.list_rules:
+        for rule_id, severity, title in race_rule_table():
+            print(f"{rule_id}  {severity:<7}  {title}")
+        return 0
+    if args.select:
+        known = {rule_id for rule_id, _, _ in race_rule_table()}
+        unknown = [r for r in args.select if r not in known]
+        if unknown:
+            print(
+                f"simrace: unknown rule(s) {', '.join(unknown)} "
+                f"(see `repro race --list-rules`)",
+                file=sys.stderr,
+            )
+            return 2
+    run_static = args.static or not args.confirm
+    exit_code = 0
+    findings = []
+    if run_static:
+        paths = args.paths
+        if not paths:
+            paths = [os.path.dirname(os.path.abspath(__file__))]
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            print(f"simrace: no such path: {', '.join(missing)}", file=sys.stderr)
+            return 2
+        findings = run_race(paths, select=args.select or None)
+        for f in findings:
+            print(f.format())
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        if findings:
+            print(
+                f"simrace: {errors} error(s), {warnings} warning(s)",
+                file=sys.stderr,
+            )
+        if errors or (args.strict and findings):
+            exit_code = 1
+    if args.confirm:
+        app = get_app(args.app)
+        cfg = SimConfig(scale=args.scale)
+        report = confirm_races(app, args.design, cfg, k=args.k, findings=findings)
+        print(report.render(findings))
+        if not report.bit_identical:
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -249,6 +304,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="list the registered rules and exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "race",
+        help="SimRace: same-cycle ordering-hazard detection "
+             "(static AST pass and/or shadow-shuffle replay)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories for --static (default: the repro package)")
+    p.add_argument("--static", action="store_true",
+                   help="run the static co-scheduling conflict pass "
+                        "(default when --confirm is not given)")
+    p.add_argument("--confirm", action="store_true",
+                   help="replay one workload under K same-cycle permutations "
+                        "and diff bit-exact results against the FIFO baseline")
+    p.add_argument("--app", choices=APP_NAMES, default="P-2MM",
+                   help="application for --confirm (default: P-2MM)")
+    p.add_argument("--design", type=parse_design, default=DesignSpec.private(40),
+                   help="design for --confirm (default: Pr40)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload scale for --confirm")
+    p.add_argument("-k", type=int, default=5,
+                   help="number of shuffle permutations for --confirm")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="only run the given SR rule ID (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not only errors")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered SimRace rules and exit")
+    p.set_defaults(func=_cmd_race)
     return parser
 
 

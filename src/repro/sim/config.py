@@ -151,6 +151,15 @@ class SimConfig:
     # Also enabled by the REPRO_SANITIZE=1 environment variable.
     sanitize: bool = False
 
+    # SimRace shadow-shuffle mode (see repro.analysis.simrace and
+    # docs/analysis.md): deterministically permute same-cycle handler
+    # blocks in the event engine under ``race_seed``.  A run whose results
+    # change under shuffle depends on accidental schedule() call order —
+    # a same-cycle ordering hazard.  ``repro race --confirm`` replays a
+    # config across K seeds and diffs the result fingerprints.
+    race_check: bool = False
+    race_seed: int = 1
+
     max_events: int = 200_000_000
 
     def with_scale(self, scale: float) -> "SimConfig":

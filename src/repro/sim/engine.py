@@ -1,9 +1,25 @@
 """Discrete-event engine.
 
-A deliberately small event loop: a binary heap of ``(time, seq, callback,
-payload)`` tuples.  The monotonically increasing ``seq`` breaks timestamp
-ties deterministically (FIFO among simultaneous events), which keeps every
-simulation bit-reproducible for a given workload seed.
+A deliberately small event loop: a binary heap of ``(time, priority, seq,
+callback, payload)`` tuples.  Timestamp ties are broken first by the
+optional integer ``priority`` (lower runs first; default 0) and then by
+the monotonically increasing ``seq`` (FIFO among simultaneous events),
+which keeps every simulation bit-reproducible for a given workload seed.
+
+``priority`` exists so that handlers with a *semantically required*
+same-cycle order (e.g. release a queue credit before the co-scheduled
+acquire sees it) can declare that order explicitly instead of relying on
+the textual order of ``schedule()`` calls — the fragile implicit contract
+SimRace (:mod:`repro.analysis.simrace`) exists to police.
+
+The engine also implements SimRace's dynamic half: constructing it with a
+``shuffle_seed`` enables *shadow shuffle* mode, where each batch of events
+sharing one ``(time, priority)`` key has its distinct-handler blocks
+deterministically permuted before execution (FIFO order is preserved
+*within* each handler, and across different priorities).  A simulation
+whose results change under shuffle depends on accidental schedule-call
+order — a same-cycle ordering hazard.  Co-scheduled handler pairs are
+recorded in :attr:`Engine.batch_pairs` for attribution.
 
 The engine knows nothing about GPUs; :mod:`repro.sim.system` schedules
 request-lifecycle callbacks onto it.
@@ -13,7 +29,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 _INF = math.inf
 
@@ -21,7 +38,7 @@ _INF = math.inf
 class Engine:
     """Minimal deterministic discrete-event simulator."""
 
-    def __init__(self, max_events: int = 500_000_000):
+    def __init__(self, max_events: int = 500_000_000, shuffle_seed: Optional[int] = None):
         self._heap: list = []
         self._seq = 0
         self.now = 0.0
@@ -32,13 +49,32 @@ class Engine:
         # lifecycle bug instead of silently re-animating the simulation.
         self._sanitizer = None
         self._drained = False
+        # SimRace shadow-shuffle mode (see repro.analysis.simrace): a
+        # seeded RNG that permutes same-(time, priority) handler blocks.
+        self._shuffle_rng = random.Random(shuffle_seed) if shuffle_seed is not None else None
+        self.shuffled_batches = 0
+        # (handler_a, handler_b) qualname pairs observed co-scheduled in
+        # one batch -> occurrence count.  Only populated in shuffle mode.
+        self.batch_pairs: Dict[Tuple[str, str], int] = {}
 
     def attach_sanitizer(self, ledger) -> None:
         """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`."""
         self._sanitizer = ledger
 
-    def schedule(self, time: float, callback: Callable[[Any], None], payload: Any = None) -> None:
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> None:
         """Schedule ``callback(payload)`` to run at simulated ``time``.
+
+        ``priority`` breaks timestamp ties (lower runs first); equal
+        priorities fall back to FIFO insertion order.  Pass it only when
+        the same-cycle order against another handler is a semantic
+        requirement of the model — it documents (and enforces) the order,
+        and exempts the pair from SimRace's accidental-order findings.
 
         Scheduling in the past is a modelling bug and raises immediately.
         So does a NaN or infinite timestamp: NaN compares False against
@@ -54,12 +90,18 @@ class Engine:
             )
         if self._sanitizer is not None and self._drained:
             self._sanitizer.scheduled_after_drain(time, callback, payload)
-        heapq.heappush(self._heap, (time, self._seq, callback, payload))
+        heapq.heappush(self._heap, (time, priority, self._seq, callback, payload))
         self._seq += 1
 
-    def schedule_in(self, delay: float, callback: Callable[[Any], None], payload: Any = None) -> None:
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> None:
         """Schedule ``callback(payload)`` to run ``delay`` cycles from now."""
-        self.schedule(self.now + delay, callback, payload)
+        self.schedule(self.now + delay, callback, payload, priority)
 
     def empty(self) -> bool:
         """True when no events remain."""
@@ -67,10 +109,12 @@ class Engine:
 
     def run(self) -> float:
         """Drain the event queue; returns the final simulated time."""
+        if self._shuffle_rng is not None:
+            return self._run_shuffled()
         heap = self._heap
         pop = heapq.heappop
         while heap:
-            time, _seq, callback, payload = pop(heap)
+            time, _prio, _seq, callback, payload = pop(heap)
             self.now = time
             callback(payload)
             self.events_processed += 1
@@ -87,7 +131,7 @@ class Engine:
         heap = self._heap
         pop = heapq.heappop
         while heap and heap[0][0] <= deadline:
-            time, _seq, callback, payload = pop(heap)
+            time, _prio, _seq, callback, payload = pop(heap)
             self.now = time
             callback(payload)
             self.events_processed += 1
@@ -95,4 +139,77 @@ class Engine:
                 raise RuntimeError(f"event budget exceeded ({self.max_events})")
         if self.now < deadline:
             self.now = deadline
+        # Keep the drain flag consistent with run(): a deadline loop that
+        # happens to empty the heap IS a full drain, and one that leaves
+        # events behind is not — even if an earlier run() had drained.
+        # Without this, the sanitizer's scheduled-after-drain check
+        # false-positives on legitimate scheduling after a partial drain.
+        self._drained = not heap
         return self.now
+
+    # ------------------------------------------------------- shadow shuffle
+
+    def _run_shuffled(self) -> float:
+        """Drain the queue with same-(time, priority) handler blocks
+        deterministically permuted (SimRace dynamic confirmer)."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, prio, _seq, callback, payload = pop(heap)
+            batch: List[Tuple[Callable[[Any], None], Any]] = [(callback, payload)]
+            # Events already queued at exactly this (time, priority) form an
+            # unordered batch: their FIFO order is an accident of call order.
+            # Exact float equality is intended here — only bit-identical
+            # timestamps are simultaneous.
+            while heap and heap[0][0] == time and heap[0][1] == prio:  # simlint: disable=SL103
+                _t, _p, _s, cb, pl = pop(heap)
+                batch.append((cb, pl))
+            if len(batch) > 1:
+                batch = self._permute_batch(batch)
+            self.now = time
+            for cb, pl in batch:
+                cb(pl)
+                self.events_processed += 1
+                if self.events_processed > self.max_events:
+                    raise RuntimeError(
+                        f"event budget exceeded ({self.max_events}); "
+                        "likely a livelock in the request state machine"
+                    )
+        self._drained = True
+        return self.now
+
+    def _permute_batch(
+        self, batch: List[Tuple[Callable[[Any], None], Any]]
+    ) -> List[Tuple[Callable[[Any], None], Any]]:
+        """Permute the distinct-handler blocks of one same-time batch.
+
+        FIFO order is preserved *within* each handler (two pending
+        ``_l1_access`` events stay in arrival order — self-pairs are
+        resolved by arbitration in any real design and are out of
+        SimRace's scope); only the relative order of *different* handlers
+        is permuted, which is exactly the order an innocent refactor of
+        ``schedule()`` call sites could change.
+        """
+        groups: Dict[Any, List[Tuple[Callable[[Any], None], Any]]] = {}
+        order: List[Any] = []
+        for cb, pl in batch:
+            key = getattr(cb, "__func__", cb)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((cb, pl))
+        if len(order) > 1:
+            self._record_batch(order)
+            self._shuffle_rng.shuffle(order)
+            self.shuffled_batches += 1
+        out: List[Tuple[Callable[[Any], None], Any]] = []
+        for key in order:
+            out.extend(groups[key])
+        return out
+
+    def _record_batch(self, handler_keys: List[Any]) -> None:
+        names = sorted(getattr(k, "__qualname__", repr(k)) for k in handler_keys)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                pair = (a, b)
+                self.batch_pairs[pair] = self.batch_pairs.get(pair, 0) + 1

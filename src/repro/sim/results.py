@@ -10,7 +10,7 @@ simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.cache.cache import CacheStats
@@ -128,6 +128,34 @@ class SimResult:
             "dram_accesses": self.dram_accesses,
             "total_flit_hops": self.total_flit_hops,
         }
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Every scalar field, nested structures flattened to dotted keys.
+
+        This is the *bit-exact* identity of a run (used by SimRace's
+        ``--confirm`` replay diffing): two runs of the same config are the
+        same simulation iff their fingerprints are equal — no tolerance,
+        no rounding.
+        """
+        flat: Dict[str, object] = {}
+
+        def walk(prefix: str, val: object) -> None:
+            if isinstance(val, dict):
+                for k in sorted(val):
+                    walk(f"{prefix}.{k}" if prefix else str(k), val[k])
+            elif isinstance(val, (list, tuple)):
+                for i, v in enumerate(val):
+                    walk(f"{prefix}[{i}]", v)
+            elif hasattr(val, "__slots__"):
+                # Plain accounting objects (CacheStats): flatten their
+                # slots — comparing by object identity would hide drift.
+                for slot in val.__slots__:
+                    walk(f"{prefix}.{slot}", getattr(val, slot))
+            else:
+                flat[prefix] = val
+
+        walk("", asdict(self))
+        return flat
 
     def __str__(self) -> str:
         return (

@@ -67,7 +67,12 @@ class GPUSystem:
             workload = generate_workload(workload, self.cfg.scale)
         self.workload = workload
         self.spec = spec
-        self.engine = Engine(max_events=self.cfg.max_events)
+        self.engine = Engine(
+            max_events=self.cfg.max_events,
+            # SimRace shadow-shuffle mode: permute same-cycle handler
+            # blocks under a seeded RNG (see repro.analysis.simrace).
+            shuffle_seed=self.cfg.race_seed if self.cfg.race_check else None,
+        )
         self.amap = AddressMap(gpu.line_bytes, gpu.num_l2_slices, gpu.num_channels)
         self._line_flits = gpu.line_bytes // gpu.flit_bytes
         self._req_flits = max(1, math.ceil(workload.profile.request_bytes / gpu.flit_bytes))
@@ -373,7 +378,10 @@ class GPUSystem:
             t2 = self.topo.to_l2(t1, req.dcl1_id, req.l2_id, 1)
             self.engine.schedule(t2, self._at_l2, req)
             if self._node_credits is not None:
-                self.engine.schedule(t1, self._release_node, req)
+                # Release-before-acquire: a Q1 credit freed at t1 must be
+                # visible to any _l1_access arriving at the same cycle, so
+                # the order is declared with a priority, not call order.
+                self.engine.schedule(t1, self._release_node, req, priority=-1)
         else:
             self.engine.schedule(t1, self._l1_access, req)
 
@@ -404,9 +412,11 @@ class GPUSystem:
         t = self.l1_banks[idx].reserve(self.engine.now)
         if self._node_credits is not None:
             # The request leaves Q1 once the (pipelined) bank accepts it —
-            # occupancy, not access latency, holds the queue slot.
+            # occupancy, not access latency, holds the queue slot.  The
+            # priority declares release-before-acquire against same-cycle
+            # _l1_access arrivals (see _dispatch_to_node).
             free_at = max(self.engine.now, t - self.l1_banks[idx].latency)
-            self.engine.schedule(free_at, self._release_node, req)
+            self.engine.schedule(free_at, self._release_node, req, priority=-1)
         cache = self.l1_caches[idx]
         filters = self.l1_filters
         if req.kind == AccessKind.LOAD:
@@ -533,7 +543,10 @@ class GPUSystem:
                 if outcome == "new":
                     t2 = self.mcs[req.mc_id].access(t, req.line)
                     self.result.dram_accesses += 1
-                    self.engine.schedule(t2, self._dram_fill, req)
+                    # Fill-before-access: a DRAM fill landing at the same
+                    # cycle as a demand access to its L2 slice installs
+                    # first (see the SimRace note in DESIGN/docs).
+                    self.engine.schedule(t2, self._dram_fill, req, priority=-1)
                 elif outcome == "merged":
                     req.merged = True
 
@@ -562,7 +575,7 @@ class GPUSystem:
             if outcome == "new":
                 t2 = self.mcs[retry.mc_id].access(t, retry.line)
                 self.result.dram_accesses += 1
-                self.engine.schedule(t2, self._dram_fill, retry)
+                self.engine.schedule(t2, self._dram_fill, retry, priority=-1)
             elif outcome == "stalled":
                 break
 
@@ -576,7 +589,11 @@ class GPUSystem:
         dst = req.dcl1_id if self.decoupled else req.core_id
         t2 = self.topo.from_l2(t, req.l2_id, dst, flits)
         if kind == AccessKind.LOAD:
-            self.engine.schedule(t2, self._l1_fill, req)
+            # Fill-before-access: a Q4 fill landing at the same cycle as a
+            # demand access to its L1 node installs (and replays stalled
+            # MSHR requests) first, so the same-cycle outcome is a policy,
+            # not an accident of schedule() call order.
+            self.engine.schedule(t2, self._l1_fill, req, priority=-1)
         else:
             if self.decoupled:
                 # ACK / atomic / bypass replies ride NoC#1 back to the core

@@ -91,3 +91,109 @@ def test_empty_property():
     assert not eng.empty()
     eng.run()
     assert eng.empty()
+
+
+def test_priority_breaks_timestamp_ties():
+    order = []
+    eng = Engine()
+    eng.schedule(2.0, order.append, "late", priority=1)
+    eng.schedule(2.0, order.append, "default")
+    eng.schedule(2.0, order.append, "early", priority=-1)
+    eng.run()
+    assert order == ["early", "default", "late"]
+
+
+def test_equal_priority_stays_fifo():
+    order = []
+    eng = Engine()
+    for tag in range(6):
+        eng.schedule(2.0, order.append, tag, priority=-1)
+    eng.run()
+    assert order == list(range(6))
+
+
+def test_priority_does_not_cross_timestamps():
+    order = []
+    eng = Engine()
+    eng.schedule(1.0, order.append, "t1", priority=5)
+    eng.schedule(2.0, order.append, "t2", priority=-5)
+    eng.run()
+    assert order == ["t1", "t2"]
+
+
+def test_run_until_full_drain_sets_drained_flag():
+    eng = Engine()
+    eng.schedule(1.0, lambda _: None, None)
+    eng.run_until(10.0)
+    assert eng._drained
+
+
+def test_run_until_partial_drain_clears_drained_flag():
+    eng = Engine()
+    eng.schedule(1.0, lambda _: None, None)
+    eng.run()
+    assert eng._drained
+    eng.schedule(5.0, lambda _: None, None)
+    eng.run_until(3.0)  # leaves the 5.0 event queued
+    assert not eng._drained
+    eng.run()
+    assert eng._drained
+
+
+def test_shuffle_mode_is_deterministic_per_seed():
+    def outcome(seed):
+        order = []
+        eng = Engine(shuffle_seed=seed)
+
+        def a(_):
+            order.append("a")
+
+        def b(_):
+            order.append("b")
+
+        def c(_):
+            order.append("c")
+
+        for cb in (a, b, c):
+            eng.schedule(1.0, cb)
+        eng.run()
+        return order
+
+    assert outcome(3) == outcome(3)
+    assert sorted(outcome(3)) == ["a", "b", "c"]
+    # Some seed must produce a non-FIFO order, else shuffle is a no-op.
+    assert any(outcome(s) != ["a", "b", "c"] for s in range(8))
+
+
+def test_shuffle_respects_priority_boundaries():
+    order = []
+    eng = Engine(shuffle_seed=1)
+
+    def first(_):
+        order.append("first")
+
+    def other(_):
+        order.append("other")
+
+    eng.schedule(1.0, other)
+    eng.schedule(1.0, first, priority=-1)
+    eng.run()
+    assert order == ["first", "other"]
+    assert eng.shuffled_batches == 0  # both batches are singletons
+
+
+def test_shuffle_counts_batches_and_pairs():
+    eng = Engine(shuffle_seed=1)
+
+    def a(_):
+        pass
+
+    def b(_):
+        pass
+
+    eng.schedule(1.0, a)
+    eng.schedule(1.0, b)
+    eng.schedule(2.0, a)  # singleton: not a batch
+    eng.run()
+    assert eng.shuffled_batches == 1
+    assert sum(eng.batch_pairs.values()) == 1
