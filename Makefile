@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow analyze
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -40,6 +40,16 @@ lint:
 race:
 	PYTHONPATH=src $(PYTHON) -m repro.cli race src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.cli race --confirm --app P-2MM --design pr40 --scale 0.1 -k 3
+
+# SimFlow: static resource-flow liveness pass (leaks, stray releases,
+# acquire-order cycles) over the package.
+flow:
+	PYTHONPATH=src $(PYTHON) -m repro.cli flow --strict src/repro
+
+# The full static-analysis tripod (SimLint + SimRace + SimFlow) with a
+# unified summary table and combined exit code.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro.cli analyze src/repro
 
 # Run the simulator-facing test suites with the SimSanitizer ledger on.
 sanitize-test:

@@ -1,13 +1,17 @@
 """Metrics, classification and tabulation helpers for the experiments,
 plus the correctness-analysis subsystem: SimLint (static AST lint pass,
 :mod:`repro.analysis.simlint`), the SimSanitizer resource ledger
-(:mod:`repro.analysis.sanitizer`), and SimRace (static + dynamic
-same-cycle ordering-hazard detection, :mod:`repro.analysis.simrace`).
-See ``docs/analysis.md``."""
+(:mod:`repro.analysis.sanitizer`), SimRace (static + dynamic same-cycle
+ordering-hazard detection, :mod:`repro.analysis.simrace`), and SimFlow
+(static resource-flow liveness analysis,
+:mod:`repro.analysis.simflow`; its runtime complement, the stall
+watchdog, lives in :mod:`repro.sim.watchdog` to keep this package free
+of :mod:`repro.sim` imports).  See ``docs/analysis.md``."""
 
 from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
 from repro.analysis.metrics import amean, geomean, normalize, s_curve
 from repro.analysis.sanitizer import ResourceLedger, SanitizerError, sanitize_from_env
+from repro.analysis.simflow import FlowFinding, flow_rule_table, flow_source, run_flow
 from repro.analysis.simlint import LintFinding, LintRule, Severity, lint_source, run_lint
 from repro.analysis.simrace import (
     ConfirmReport,
@@ -46,4 +50,8 @@ __all__ = [
     "diff_fingerprints",
     "race_rule_table",
     "run_race",
+    "FlowFinding",
+    "flow_rule_table",
+    "flow_source",
+    "run_flow",
 ]

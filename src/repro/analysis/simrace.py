@@ -83,6 +83,8 @@ __all__ = [
     "diff_fingerprints",
     "shuffle_outcomes",
     "race_rule_table",
+    "method_aliases",
+    "single_assignment_defs",
 ]
 
 _SUPPRESS_RE = re.compile(r"#\s*simrace:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -120,10 +122,10 @@ MUTATING_METHODS: Set[str] = {
 
 #: ``self`` attributes excluded from conflict summaries: the engine (every
 #: handler schedules), result counters (commutative accumulation), and the
-#: sanitizer mirror (pure bookkeeping, never model state).
+#: sanitizer/watchdog mirrors (pure bookkeeping, never model state).
 IGNORED_ATTRS: Set[str] = {
     "engine", "result", "cfg", "spec", "_ledger", "ledger",
-    "_sanitized_completions",
+    "_sanitized_completions", "_watchdog",
 }
 
 
@@ -235,13 +237,10 @@ def _const_value(node: ast.AST) -> Optional[float]:
     return None
 
 
-def _summarize_method(func: ast.AST) -> _MethodSummary:
-    """Build the direct read/write/call/schedule summary of one method."""
-    summary = _MethodSummary(name=func.name, lineno=func.lineno)
-
-    # Pass 1: local single-assignment map (for alias and time-expression
-    # resolution).  Names assigned more than once are dropped — resolving
-    # them would pick an arbitrary definition.
+def single_assignment_defs(func: ast.AST) -> Dict[str, ast.AST]:
+    """Local single-assignment map (for alias and time-expression
+    resolution).  Names assigned more than once are dropped — resolving
+    them would pick an arbitrary definition."""
     defs: Dict[str, ast.AST] = {}
     assigned_counts: Dict[str, int] = {}
     for node in ast.walk(func):
@@ -256,8 +255,16 @@ def _summarize_method(func: ast.AST) -> _MethodSummary:
             assigned_counts[node.target.id] = assigned_counts.get(node.target.id, 0) + 2
         elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(node.target, ast.Name):
             assigned_counts[node.target.id] = assigned_counts.get(node.target.id, 0) + 2
-    defs = {k: v for k, v in defs.items() if assigned_counts.get(k, 0) == 1}
+    return {k: v for k, v in defs.items() if assigned_counts.get(k, 0) == 1}
 
+
+def method_aliases(
+    func: ast.AST, defs: Optional[Dict[str, ast.AST]] = None
+) -> Dict[str, str]:
+    """Local-name -> owning ``self`` attribute alias map for one method
+    (shared by SimRace and SimFlow)."""
+    if defs is None:
+        defs = single_assignment_defs(func)
     aliases: Dict[str, str] = {}
     for name, rhs in defs.items():
         if _is_alias_rhs(rhs):
@@ -273,6 +280,14 @@ def _summarize_method(func: ast.AST) -> _MethodSummary:
             root = _root_attr(rhs, aliases)
             if root is not None:
                 aliases[name] = root
+    return aliases
+
+
+def _summarize_method(func: ast.AST) -> _MethodSummary:
+    """Build the direct read/write/call/schedule summary of one method."""
+    summary = _MethodSummary(name=func.name, lineno=func.lineno)
+    defs = single_assignment_defs(func)
+    aliases = method_aliases(func, defs)
 
     def resolve_time(expr: ast.AST) -> ast.AST:
         seen: Set[str] = set()

@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Six subcommands cover the library's main entry points::
+The subcommands cover the library's main entry points::
 
     repro simulate T-AlexNet --design Sh40+C10+Boost --scale 0.5
     repro simulate T-AlexNet --sanitize        # run under the SimSanitizer
+    repro simulate T-AlexNet --watchdog        # stall watchdog + wait graphs
     repro characterize --scale 1.0
     repro figures fig14 fig16
     repro sweep P-2MM --scale 0.5
     repro lint src/repro                       # SimLint static analysis
     repro race --static src/repro              # SimRace ordering-hazard scan
     repro race --confirm --app P-2MM -k 5      # SimRace shadow-shuffle replay
+    repro flow src/repro                       # SimFlow liveness analysis
+    repro analyze src/repro                    # lint + race + flow, one table
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.  Design names accept the paper's labels
@@ -75,7 +78,8 @@ def _cmd_simulate(args) -> int:
     from repro.analysis.analytical import validate_against
 
     cfg = SimConfig(
-        scale=args.scale, cta_scheduler=args.scheduler, sanitize=args.sanitize
+        scale=args.scale, cta_scheduler=args.scheduler, sanitize=args.sanitize,
+        watchdog=args.watchdog,
     )
     app = get_app(args.app)
 
@@ -261,6 +265,87 @@ def _cmd_race(args) -> int:
     return exit_code
 
 
+def _cmd_flow(args) -> int:
+    import os
+
+    from repro.analysis.simflow import flow_rule_table, run_flow
+    from repro.analysis.simlint import Severity
+
+    if args.list_rules:
+        for rule_id, severity, title in flow_rule_table():
+            print(f"{rule_id}  {severity:<7}  {title}")
+        return 0
+    if args.select:
+        known = {rule_id for rule_id, _, _ in flow_rule_table()}
+        unknown = [r for r in args.select if r not in known]
+        if unknown:
+            print(
+                f"simflow: unknown rule(s) {', '.join(unknown)} "
+                f"(see `repro flow --list-rules`)",
+                file=sys.stderr,
+            )
+            return 2
+    paths = args.paths
+    if not paths:
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"simflow: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = run_flow(paths, select=args.select or None)
+    for f in findings:
+        print(f.format())
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        print(
+            f"simflow: {errors} error(s), {warnings} warning(s)", file=sys.stderr
+        )
+    if errors or (args.strict and findings):
+        return 1
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    import os
+
+    from repro.analysis.simflow import run_flow
+    from repro.analysis.simlint import Severity, run_lint
+    from repro.analysis.simrace import run_race
+
+    paths = args.paths
+    if not paths:
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"analyze: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    tools = (
+        ("simlint", "determinism/resource hygiene", run_lint),
+        ("simrace", "same-cycle ordering hazards", run_race),
+        ("simflow", "resource-flow liveness", run_flow),
+    )
+    rows = []
+    exit_code = 0
+    for name, what, runner in tools:
+        findings = runner(paths)
+        for f in findings:
+            print(f.format())
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        failed = bool(errors or (args.strict and findings))
+        if failed:
+            exit_code = 1
+        rows.append([
+            name, what, str(errors), str(warnings),
+            "FAIL" if failed else "ok",
+        ])
+    print(format_table(
+        ["tool", "checks", "errors", "warnings", "status"], rows,
+        title=f"repro analyze: {' '.join(paths)}"))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -276,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="run under the SimSanitizer resource ledger "
                         "(leak/double-free/lifecycle checking)")
+    p.add_argument("--watchdog", action="store_true",
+                   help="run under the stall watchdog: a wedged/livelocked "
+                        "run raises SimStallError with a resource wait-graph "
+                        "dump instead of hanging")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("characterize", help="Figure 1 classification of the suite")
@@ -333,6 +422,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="list the registered SimRace rules and exit")
     p.set_defaults(func=_cmd_race)
+
+    p = sub.add_parser(
+        "flow",
+        help="SimFlow: static resource-flow liveness analysis "
+             "(leaks, stray releases, acquire-order cycles)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to analyze (default: the repro package)")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="only run the given SF rule ID (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not only errors")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered SimFlow rules and exit")
+    p.set_defaults(func=_cmd_flow)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the full static-analysis tripod (lint + race + flow) "
+             "with a unified summary table and combined exit code",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to analyze (default: the repro package)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not only errors")
+    p.set_defaults(func=_cmd_analyze)
     return parser
 
 

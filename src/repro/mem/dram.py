@@ -44,10 +44,17 @@ class MemoryController:
         """Bank group serving ``line`` within this channel."""
         return self.banks[line % self.num_bank_groups]
 
-    def access(self, now: float, line: int, size: float = 1.0) -> float:
-        """Reserve the owning bank group; returns completion time."""
+    def attach_sanitizer(self, ledger) -> None:
+        """Attach a sanitizer ledger to every bank group (reservation
+        validation + watchdog holder attribution)."""
+        for bank in self.banks:
+            bank.attach_sanitizer(ledger)
+
+    def access(self, now: float, line: int, size: float = 1.0, owner=None) -> float:
+        """Reserve the owning bank group; returns completion time.
+        ``owner`` attributes the reservation (watchdog wait graphs)."""
         self.accesses += 1
-        return self.bank_of(line).reserve(now, size)
+        return self.bank_of(line).reserve(now, size, owner)
 
     def busy_cycles(self) -> float:
         return sum(b.busy_cycles for b in self.banks)

@@ -5,5 +5,25 @@ from repro.sim.engine import Engine
 from repro.sim.resources import Server
 from repro.sim.results import SimResult
 from repro.sim.system import GPUSystem, simulate
+from repro.sim.watchdog import (
+    SimStallError,
+    StallWatchdog,
+    WaitGraph,
+    build_wait_graph,
+    watchdog_from_env,
+)
 
-__all__ = ["GPUConfig", "SimConfig", "Engine", "Server", "SimResult", "GPUSystem", "simulate"]
+__all__ = [
+    "GPUConfig",
+    "SimConfig",
+    "Engine",
+    "Server",
+    "SimResult",
+    "GPUSystem",
+    "simulate",
+    "SimStallError",
+    "StallWatchdog",
+    "WaitGraph",
+    "build_wait_graph",
+    "watchdog_from_env",
+]

@@ -151,6 +151,20 @@ class SimConfig:
     # Also enabled by the REPRO_SANITIZE=1 environment variable.
     sanitize: bool = False
 
+    # Enable the stall watchdog (see repro.sim.watchdog and
+    # docs/analysis.md): diagnose a wedged/livelocked run with a
+    # SimStallError carrying a resource wait-graph dump instead of an
+    # opaque hang or count mismatch.  Implies the sanitizer ledger (for
+    # holder attribution); observation-only — results stay bit-identical.
+    # Also enabled by the REPRO_WATCHDOG=1 environment variable.
+    watchdog: bool = False
+    # No-completion window in cycles before the watchdog declares a
+    # livelock (generous: the deepest healthy round trip is ~1k cycles).
+    watchdog_window: float = 50_000.0
+    # Events allowed at one simulated cycle without a completion or time
+    # advance before the watchdog declares a same-cycle livelock.
+    watchdog_same_cycle_limit: int = 1_000_000
+
     # SimRace shadow-shuffle mode (see repro.analysis.simrace and
     # docs/analysis.md): deterministically permute same-cycle handler
     # blocks in the event engine under ``race_seed``.  A run whose results

@@ -56,10 +56,17 @@ class Engine:
         # (handler_a, handler_b) qualname pairs observed co-scheduled in
         # one batch -> occurrence count.  Only populated in shuffle mode.
         self.batch_pairs: Dict[Tuple[str, str], int] = {}
+        # Stall watchdog (see repro.sim.watchdog): observation-only
+        # progress monitor; run() dispatches to _run_watched when attached.
+        self._watchdog = None
 
     def attach_sanitizer(self, ledger) -> None:
         """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`."""
         self._sanitizer = ledger
+
+    def attach_watchdog(self, watchdog) -> None:
+        """Attach a :class:`repro.sim.watchdog.StallWatchdog`."""
+        self._watchdog = watchdog
 
     def schedule(
         self,
@@ -110,7 +117,11 @@ class Engine:
     def run(self) -> float:
         """Drain the event queue; returns the final simulated time."""
         if self._shuffle_rng is not None:
+            # Shuffle replays are short diagnostic runs; shuffle wins over
+            # the watchdog when both are configured.
             return self._run_shuffled()
+        if self._watchdog is not None:
+            return self._run_watched()
         heap = self._heap
         pop = heapq.heappop
         while heap:
@@ -145,6 +156,33 @@ class Engine:
         # Without this, the sanitizer's scheduled-after-drain check
         # false-positives on legitimate scheduling after a partial drain.
         self._drained = not heap
+        return self.now
+
+    def _run_watched(self) -> float:
+        """Drain the queue with the stall watchdog observing every event.
+
+        Identical event order to :meth:`run` — the watchdog only counts
+        (time advances reset the same-cycle counter; completions reset
+        the window via :meth:`~repro.sim.watchdog.StallWatchdog.progress`)
+        and raises ``SimStallError`` when a livelock signature appears.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        watchdog = self._watchdog
+        while heap:
+            time, _prio, _seq, callback, payload = pop(heap)
+            if time > self.now:
+                watchdog.advanced(time)
+            self.now = time
+            callback(payload)
+            self.events_processed += 1
+            watchdog.event(time)
+            if self.events_processed > self.max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({self.max_events}); "
+                    "likely a livelock in the request state machine"
+                )
+        self._drained = True
         return self.now
 
     # ------------------------------------------------------- shadow shuffle

@@ -35,7 +35,10 @@ class Server:
         Pipeline latency in cycles from start of service to completion.
     """
 
-    __slots__ = ("name", "service", "latency", "next_free", "busy_cycles", "num_served")
+    __slots__ = (
+        "name", "service", "latency", "next_free", "busy_cycles", "num_served",
+        "holder", "holder_since", "ledger",
+    )
 
     def __init__(self, name: str, service: float, latency: float = 0.0):
         if service < 0 or latency < 0:
@@ -46,19 +49,44 @@ class Server:
         self.next_free = 0.0
         self.busy_cycles = 0.0
         self.num_served = 0
+        # Holder attribution (sanitizer/watchdog mirror): the last owner
+        # to reserve the port and when its service started.  Servers are
+        # time-released by construction (next_free expires), so there is
+        # no ledger hold to leak — the mirror exists purely so the stall
+        # watchdog's wait graph can say *who* a camped port is serving.
+        self.holder = None
+        self.holder_since = 0.0
+        self.ledger = None
 
-    def reserve(self, now: float, size: float = 1.0) -> float:
+    def attach_sanitizer(self, ledger) -> None:
+        """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`;
+        every reservation is then validated via ``check_reservation``."""
+        self.ledger = ledger
+
+    def reserve(self, now: float, size: float = 1.0, owner=None) -> float:
         """Reserve the server for a transaction arriving at ``now``.
 
         Returns the completion time (when the transaction emerges on the
-        far side of the resource).
+        far side of the resource).  ``owner`` (optional) records who the
+        port is serving, for watchdog/sanitizer attribution.
         """
         start = now if now > self.next_free else self.next_free
         occupancy = self.service * size
         self.next_free = start + occupancy
         self.busy_cycles += occupancy
         self.num_served += 1
-        return start + occupancy + self.latency
+        completion = start + occupancy + self.latency
+        if owner is not None:
+            self.holder = owner
+            self.holder_since = start
+        if self.ledger is not None:
+            self.ledger.check_reservation(self.name, start, size, completion)
+        return completion
+
+    def current_holder(self, now: float):
+        """Owner the port is busy serving at ``now`` (None when idle or
+        when reservations carried no owner)."""
+        return self.holder if self.next_free > now else None
 
     def peek_start(self, now: float) -> float:
         """Earliest time a transaction arriving at ``now`` could start service."""
@@ -72,10 +100,16 @@ class Server:
         return u if u < 1.0 else 1.0
 
     def reset(self) -> None:
-        """Clear all reservation and accounting state."""
+        """Clear all reservation and accounting state, including the
+        sanitizer/watchdog holder mirror — a stale holder on a reset
+        server would otherwise surface as a phantom leak in the next
+        run's wait graph.  The attached ledger is wiring, not state, and
+        survives the reset."""
         self.next_free = 0.0
         self.busy_cycles = 0.0
         self.num_served = 0
+        self.holder = None
+        self.holder_since = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -120,7 +154,14 @@ class ServerGroup:
         """Total transactions served by the whole group."""
         return sum(s.num_served for s in self.servers)
 
+    def attach_sanitizer(self, ledger) -> None:
+        """Attach one ledger to every server in the group."""
+        for s in self.servers:
+            s.attach_sanitizer(ledger)
+
     def reset(self) -> None:
+        """Reset every server, holder mirrors included (see
+        :meth:`Server.reset`)."""
         for s in self.servers:
             s.reset()
 

@@ -48,6 +48,7 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.sim.resources import Server
 from repro.sim.results import SimResult
+from repro.sim.watchdog import StallWatchdog, build_wait_graph, watchdog_from_env
 from repro.workloads.generator import Workload, generate_workload
 from repro.workloads.profile import AppProfile
 
@@ -122,6 +123,26 @@ class GPUSystem:
         if self.cfg.sanitize or sanitize_from_env():
             self._attach_sanitizer()
 
+        # Opt-in stall watchdog (see repro.sim.watchdog): diagnose a
+        # wedged/livelocked run with a SimStallError + wait-graph dump.
+        self._watchdog = None
+        if self.cfg.watchdog or watchdog_from_env():
+            self._attach_watchdog()
+
+    def _attach_watchdog(self) -> None:
+        if self._ledger is None:
+            # Wait-graph holder attribution rides the sanitizer ledger;
+            # watchdog mode implies it (sanitized runs are bit-identical).
+            self._attach_sanitizer()
+        watchdog = StallWatchdog(
+            window=self.cfg.watchdog_window,
+            same_cycle_limit=self.cfg.watchdog_same_cycle_limit,
+            inflight=lambda: self.outstanding,
+            graph=lambda: build_wait_graph(self),
+        )
+        self._watchdog = watchdog
+        self.engine.attach_watchdog(watchdog)
+
     def _attach_sanitizer(self) -> None:
         from repro.analysis.sanitizer import ResourceLedger
 
@@ -142,6 +163,12 @@ class GPUSystem:
             + self.topo.cdx2_req + self.topo.cdx2_rep
         ):
             xb.attach_sanitizer(ledger)
+        # Bank/channel servers: reservation validation plus the holder
+        # mirror the stall watchdog's wait graph reads.
+        for bank in self.l1_banks + self.l2_banks:
+            bank.attach_sanitizer(ledger)
+        for mc in self.mcs:
+            mc.attach_sanitizer(ledger)
 
     # ------------------------------------------------------------------ build
 
@@ -264,6 +291,11 @@ class GPUSystem:
                     core.active_wavefronts += 1
                     self.engine.schedule(0.0, self._wf_issue, wf)
         self.engine.run()
+        if self._watchdog is not None and self.outstanding != 0:
+            # Checked before the ledger's drain assertion: a wedged drain
+            # should surface as a wait-graph-carrying SimStallError (who
+            # holds what, who waits on what), not as a bare leak list.
+            self._watchdog.drained(self.engine.now)
         if self._ledger is not None:
             # Checked before the bare outstanding-count guard below: a
             # leak that strands requests should surface as an attributed
@@ -364,10 +396,12 @@ class GPUSystem:
             credits[n] -= 1
             if self._ledger is not None:
                 self._ledger.acquire("dcl1-q1", (n, id(req)), req)
+                self._note(req, f"admitted to dcl1-q1[{n}]")
             self._dispatch_to_node(req, t)
         else:
             self._node_waiters[n].append(req)
             self.result.node_queue_stalls += 1
+            self._note(req, f"parked waiting for a dcl1-q1[{n}] credit")
 
     def _dispatch_to_node(self, req: MemoryRequest, t: float) -> None:
         flits = self._req_flits if req.kind == AccessKind.STORE else 1
@@ -409,7 +443,8 @@ class GPUSystem:
 
     def _l1_access(self, req: MemoryRequest) -> None:
         idx = self._l1_index(req)
-        t = self.l1_banks[idx].reserve(self.engine.now)
+        self._note(req, f"L1[{idx}] bank access")
+        t = self.l1_banks[idx].reserve(self.engine.now, owner=req)
         if self._node_credits is not None:
             # The request leaves Q1 once the (pipelined) bank accepts it —
             # occupancy, not access latency, holds the queue slot.  The
@@ -439,6 +474,7 @@ class GPUSystem:
 
     def _l1_miss(self, req: MemoryRequest, t: float, idx: int) -> None:
         outcome = self.l1_mshrs[idx].allocate(req.line, req)
+        self._note(req, f"L1[{idx}] miss ({outcome})")
         if outcome == "new":
             src = idx if self.decoupled else req.core_id
             t2 = self.topo.to_l2(t, src, req.l2_id, 1)
@@ -487,7 +523,7 @@ class GPUSystem:
         cache = self.l1_caches[idx]
         while mshr.has_stalled() and not mshr.full:
             retry = mshr.pop_stalled()
-            t = self.l1_banks[idx].reserve(now)
+            t = self.l1_banks[idx].reserve(now, owner=retry)
             if cache.access_load(retry.line):
                 retry.l1_hit = True
                 if self.l1_filters is not None:
@@ -515,33 +551,34 @@ class GPUSystem:
     def _at_l2(self, req: MemoryRequest) -> None:
         s = req.l2_id
         slice_ = self.l2_slices[s]
+        self._note(req, f"at L2 slice {s}")
         if req.kind == AccessKind.STORE:
-            t = self.l2_banks[s].reserve(self.engine.now)
+            t = self.l2_banks[s].reserve(self.engine.now, owner=req)
             slice_.access_store(req.line)
             self._charge_writebacks(s, t)
             self._reply_from_l2(req, t)
         elif req.kind == AccessKind.ATOMIC:
             # Read-modify-write at the L2/MC: double bank occupancy, DRAM
             # fill on miss, no MSHR merging (atomics serialize).
-            t = self.l2_banks[s].reserve(self.engine.now, 2.0)
+            t = self.l2_banks[s].reserve(self.engine.now, 2.0, owner=req)
             if slice_.access_load(req.line):
                 req.l2_hit = True
                 self._reply_from_l2(req, t)
             else:
-                t2 = self.mcs[req.mc_id].access(t, req.line)
+                t2 = self.mcs[req.mc_id].access(t, req.line, owner=req)
                 self.result.dram_accesses += 1
                 slice_.install(req.line)
                 self._charge_writebacks(s, t)
                 self._reply_from_l2(req, t2)
         else:  # LOAD or BYPASS fill
-            t = self.l2_banks[s].reserve(self.engine.now)
+            t = self.l2_banks[s].reserve(self.engine.now, owner=req)
             if slice_.access_load(req.line):
                 req.l2_hit = True
                 self._reply_from_l2(req, t)
             else:
                 outcome = slice_.mshr.allocate(req.line, req)
                 if outcome == "new":
-                    t2 = self.mcs[req.mc_id].access(t, req.line)
+                    t2 = self.mcs[req.mc_id].access(t, req.line, owner=req)
                     self.result.dram_accesses += 1
                     # Fill-before-access: a DRAM fill landing at the same
                     # cycle as a demand access to its L2 slice installs
@@ -566,14 +603,14 @@ class GPUSystem:
         mshr = slice_.mshr
         while mshr.has_stalled() and not mshr.full:
             retry = mshr.pop_stalled()
-            t = self.l2_banks[s].reserve(now)
+            t = self.l2_banks[s].reserve(now, owner=retry)
             if slice_.access_load(retry.line):
                 retry.l2_hit = True
                 self._reply_from_l2(retry, t)
                 continue
             outcome = mshr.allocate(retry.line, retry)
             if outcome == "new":
-                t2 = self.mcs[retry.mc_id].access(t, retry.line)
+                t2 = self.mcs[retry.mc_id].access(t, retry.line, owner=retry)
                 self.result.dram_accesses += 1
                 self.engine.schedule(t2, self._dram_fill, retry, priority=-1)
             elif outcome == "stalled":
@@ -581,6 +618,7 @@ class GPUSystem:
 
     def _reply_from_l2(self, req: MemoryRequest, t: float) -> None:
         """Route an L2 reply (fill / ACK / atomic result) back up."""
+        self._note(req, f"reply from L2 slice {req.l2_id}")
         kind = req.kind
         if kind in (AccessKind.LOAD, AccessKind.BYPASS):
             flits = self._line_flits  # fills carry the whole line
@@ -606,9 +644,17 @@ class GPUSystem:
 
     # ------------------------------------------------------------- completion
 
+    def _note(self, req: MemoryRequest, message: str) -> None:
+        """Hop-trace breadcrumb on the request's ledger hold (single
+        ``is None`` check when the sanitizer is off)."""
+        if self._ledger is not None:
+            self._ledger.note("request", id(req), message)
+
     def _complete(self, req: MemoryRequest) -> None:
         now = self.engine.now
         self.outstanding -= 1
+        if self._watchdog is not None:
+            self._watchdog.progress(now)
         if self._ledger is not None:
             self._ledger.release("request", id(req))
             self._sanitized_completions += 1
