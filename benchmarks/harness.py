@@ -1,10 +1,15 @@
-"""Shared bench helper: run an experiment once under pytest-benchmark,
-persist its rendered table, and return the report for shape assertions."""
+"""Shared bench helpers: run an experiment once under pytest-benchmark,
+persist its rendered table, and return the report for shape assertions;
+plus the sweep-engine wall-clock helper used by ``test_bench_sweep.py``."""
 
 from __future__ import annotations
 
+import time
+from typing import List, Optional, Sequence
+
 from repro.experiments.base import ExperimentReport, Runner
 from repro.experiments.registry import run_experiment
+from repro.sim.results import SimResult
 
 
 def bench_experiment(benchmark, runner: Runner, results_dir, exp_id: str) -> ExperimentReport:
@@ -18,3 +23,39 @@ def bench_experiment(benchmark, runner: Runner, results_dir, exp_id: str) -> Exp
     print()
     print(text)
     return report
+
+
+def bench_sweep(
+    benchmark,
+    runner: Runner,
+    grid: Sequence,
+    results_dir,
+    label: str,
+    jobs: Optional[int] = None,
+) -> List[SimResult]:
+    """Benchmark one ``Runner.run_many`` sweep over ``grid``.
+
+    Appends a wall-clock + cache-accounting record to ``results/sweep.txt``
+    so serial-vs-parallel and cold-vs-warm-cache timings survive output
+    capture, and returns the results for fingerprint assertions.
+    """
+    timing = {}
+
+    def go() -> List[SimResult]:
+        t0 = time.perf_counter()
+        out = runner.run_many(grid, jobs=jobs)
+        timing["elapsed"] = time.perf_counter() - t0
+        return out
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    disk = runner.disk_cache
+    record = (
+        f"{label}: {timing['elapsed']:.2f}s wall, points={len(results)}, "
+        f"sims_run={runner.sims_run}, jobs={jobs or runner.jobs}, "
+        f"disk_hits={disk.hits if disk else 0}"
+    )
+    with open(results_dir / "sweep.txt", "a", encoding="utf-8") as fh:
+        fh.write(record + "\n")
+    print()
+    print(record)
+    return results

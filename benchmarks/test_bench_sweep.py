@@ -1,0 +1,61 @@
+"""Sweep-engine wall-clock benches: serial vs parallel, cold vs warm cache.
+
+Three runs over the same (application x design) grid — the
+replication-sensitive set under the baseline and the final proposed
+design, the core of Figures 8/14:
+
+1. serial cold (fresh runner, no disk cache) — the pre-``run_many``
+   behaviour and the correctness reference,
+2. parallel cold (fresh runner, fresh persistent cache) — misses fan out
+   over a process pool and populate the cache,
+3. warm cache (fresh runner, same cache) — every point must be served
+   from disk with **zero** new simulations.
+
+All three must be ``SimResult.fingerprint()``-identical; the recorded
+wall-clock lines land in ``results/sweep.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from harness import bench_sweep
+
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, Runner, env_scale
+from repro.sim.config import SimConfig
+from repro.workloads.suite import REPLICATION_SENSITIVE
+
+BOOST = PROPOSED_DESIGNS[-1]
+GRID = [(name, spec) for name in REPLICATION_SENSITIVE for spec in (BASELINE, BOOST)]
+# At least 2 so the process-pool path is exercised even on tiny hosts.
+PARALLEL_JOBS = max(2, min(4, os.cpu_count() or 1))
+
+#: Cross-test state: the serial reference fingerprints.
+_STATE: dict = {}
+
+
+def _fresh_runner(cache) -> Runner:
+    return Runner(SimConfig(scale=env_scale()), cache=cache)
+
+
+def test_sweep_serial_cold(benchmark, results_dir):
+    runner = _fresh_runner(cache=False)
+    bench_sweep(benchmark, runner, GRID, results_dir, "serial-cold", jobs=1)
+    assert runner.sims_run == len(set(GRID))
+    _STATE["serial_fp"] = runner.result_fingerprints()
+
+
+def test_sweep_parallel_cold(benchmark, results_dir, sweep_cache_dir):
+    runner = _fresh_runner(cache=str(sweep_cache_dir))
+    bench_sweep(
+        benchmark, runner, GRID, results_dir, "parallel-cold", jobs=PARALLEL_JOBS
+    )
+    assert runner.sims_run == len(set(GRID))
+    assert runner.result_fingerprints() == _STATE["serial_fp"]
+
+
+def test_sweep_warm_cache(benchmark, results_dir, sweep_cache_dir):
+    runner = _fresh_runner(cache=str(sweep_cache_dir))
+    bench_sweep(benchmark, runner, GRID, results_dir, "warm-cache", jobs=1)
+    assert runner.sims_run == 0, "warm cache must serve every point from disk"
+    assert runner.result_fingerprints() == _STATE["serial_fp"]

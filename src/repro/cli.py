@@ -7,7 +7,8 @@ The subcommands cover the library's main entry points::
     repro simulate T-AlexNet --watchdog        # stall watchdog + wait graphs
     repro characterize --scale 1.0
     repro figures fig14 fig16
-    repro sweep P-2MM --scale 0.5
+    repro figures --all --jobs 8 --cache-dir ~/.cache/repro  # parallel + persistent
+    repro sweep P-2MM --scale 0.5 --jobs 4
     repro lint src/repro                       # SimLint static analysis
     repro race --static src/repro              # SimRace ordering-hazard scan
     repro race --confirm --app P-2MM -k 5      # SimRace shadow-shuffle replay
@@ -128,8 +129,30 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
-def _cmd_figures(args) -> int:
+def _make_runner(args, scale: float):
+    """Build a Runner from the shared --jobs/--cache-dir/--no-cache flags."""
     from repro.experiments.base import Runner
+
+    cache = False if args.no_cache else (args.cache_dir or None)
+    return Runner(SimConfig(scale=scale), jobs=args.jobs, cache=cache)
+
+
+def _add_sweep_flags(parser) -> None:
+    """The parallel-sweep/persistent-cache flags shared by grid commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulate cache misses over N worker processes "
+             "(default: REPRO_JOBS, else serial)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result-cache directory "
+             "(default: REPRO_CACHE_DIR, else no disk cache)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache even if REPRO_CACHE_DIR is set")
+
+
+def _cmd_figures(args) -> int:
     from repro.experiments.registry import EXPERIMENTS, run_experiment
 
     if args.list:
@@ -143,7 +166,7 @@ def _cmd_figures(args) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
-    runner = Runner(SimConfig(scale=args.scale))
+    runner = _make_runner(args, args.scale)
     for exp_id in ids:
         # Wall-clock is fine here: it reports elapsed real time to the user
         # and never feeds the simulation.
@@ -154,18 +177,18 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    cfg = SimConfig(scale=args.scale)
+    runner = _make_runner(args, args.scale)
     app = get_app(args.app)
-    base = simulate(app, DesignSpec.baseline(), cfg)
-    rows = []
-    for y in (80, 40, 20, 10):
-        res = simulate(app, DesignSpec.private(y), cfg)
-        rows.append([f"Pr{y}", f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"])
-    for z in (1, 5, 10, 20):
-        res = simulate(app, DesignSpec.clustered(40, z), cfg)
-        rows.append([f"Sh40+C{z}", f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"])
-    res = simulate(app, DesignSpec.clustered(40, 10, boost=2.0), cfg)
-    rows.append(["Sh40+C10+Boost", f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"])
+    specs = [DesignSpec.baseline()]
+    specs += [DesignSpec.private(y) for y in (80, 40, 20, 10)]
+    specs += [DesignSpec.clustered(40, z) for z in (1, 5, 10, 20)]
+    specs.append(DesignSpec.clustered(40, 10, boost=2.0))
+    results = runner.run_many([(app, spec) for spec in specs])
+    base = results[0]
+    rows = [
+        [spec.label, f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"]
+        for spec, res in zip(specs[1:], results[1:])
+    ]
     print(format_table(["design", "speedup", "miss"], rows,
                        title=f"Design-space sweep: {app.name}"))
     return 0
@@ -376,11 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--all", action="store_true")
     p.add_argument("--list", action="store_true")
     p.add_argument("--scale", type=float, default=1.0)
+    _add_sweep_flags(p)
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("sweep", help="aggregation/clustering sweep on one app")
     p.add_argument("app", choices=APP_NAMES)
     p.add_argument("--scale", type=float, default=0.5)
+    _add_sweep_flags(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("lint", help="SimLint: simulator-specific static analysis")

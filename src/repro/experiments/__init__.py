@@ -1,15 +1,26 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every experiment module exposes ``run(runner) -> ExperimentReport``.  The
-shared :class:`~repro.experiments.base.Runner` memoizes simulation results
-by (application, design, configuration), so experiments that share runs —
-e.g. Figures 14, 15, 16 and 17 all consume the same 28 x 5 design matrix —
-pay for each simulation once per process.
+Every experiment module exposes ``run(runner) -> ExperimentReport`` and
+pre-submits its full (application x design) grid via
+:meth:`~repro.experiments.base.Runner.run_many`, which fans cache misses
+out over a process pool (``jobs``/``REPRO_JOBS``).  The shared
+:class:`~repro.experiments.base.Runner` memoizes simulation results by
+(application, design, configuration) — in-process, plus an optional
+persistent on-disk layer (``REPRO_CACHE_DIR``, see docs/sweep.md) — so
+experiments that share runs (e.g. Figures 14-17 all consume the same
+28 x 5 design matrix) pay for each simulation once, and repeat runs in
+other processes pay nothing.
 
 The paper-reported values each experiment targets live in its module-level
 ``PAPER`` dict and are folded into EXPERIMENTS.md.
 """
 
-from repro.experiments.base import ExperimentReport, Runner, default_runner
+from repro.experiments.base import (
+    ExperimentReport,
+    Runner,
+    default_runner,
+    env_jobs,
+    env_scale,
+)
 
-__all__ = ["ExperimentReport", "Runner", "default_runner"]
+__all__ = ["ExperimentReport", "Runner", "default_runner", "env_jobs", "env_scale"]

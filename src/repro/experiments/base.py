@@ -1,10 +1,25 @@
 """Shared experiment infrastructure.
 
-:class:`Runner` is a memoizing front-end to :func:`repro.sim.system.simulate`:
-experiments request ``runner.run(app_name, spec, ...)`` and identical
-requests are served from cache.  The workload scale can be set globally via
-the ``REPRO_SCALE`` environment variable (1.0 = the calibrated benchmark
-scale; tests use much smaller scales and only assert coarse invariants).
+:class:`Runner` is a memoizing front-end to :func:`repro.sim.system.simulate`
+with three result layers:
+
+1. an in-process dict keyed by the frozen (profile, spec, config) triple,
+2. an optional persistent on-disk cache
+   (:class:`repro.sim.store.DiskResultCache`), shared across processes and
+   sessions, content-addressed by :func:`repro.sim.store.sim_cache_key`,
+3. the simulator itself.
+
+Experiments request ``runner.run(app_name, spec, ...)`` one point at a
+time, or pre-submit a whole (application x design) grid with
+:meth:`Runner.run_many`, which fans cache misses out over a process pool
+(``jobs``/``REPRO_JOBS``) and returns results in submission order.  Both
+paths are bit-deterministic: a parallel or cache-served result has the
+same :meth:`~repro.sim.results.SimResult.fingerprint` as a serial cold
+run.
+
+The workload scale can be set globally via the ``REPRO_SCALE`` environment
+variable (1.0 = the calibrated benchmark scale; tests use much smaller
+scales and only assert coarse invariants).
 
 :class:`ExperimentReport` is the uniform result: named rows, a summary of
 headline numbers, the paper's reported values, and a text rendering.
@@ -14,13 +29,16 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import format_dict_table
 from repro.core.designs import DesignSpec
 from repro.sim.config import GPUConfig, SimConfig
 from repro.sim.results import SimResult
+from repro.sim.store import DiskResultCache, cache_from_env, sim_cache_key
 from repro.sim.system import simulate
 from repro.workloads.profile import AppProfile
 from repro.workloads.suite import get_app
@@ -35,13 +53,65 @@ PROPOSED_DESIGNS: Sequence[DesignSpec] = (
 
 BASELINE = DesignSpec.baseline()
 
+#: One sweep point for :meth:`Runner.run_many`: ``(app, spec)`` or
+#: ``(app, spec, run_kwargs)`` where ``run_kwargs`` are the keyword
+#: arguments :meth:`Runner.run` accepts (scheduler, overrides, ...).
+SweepPoint = Union[
+    Tuple[object, DesignSpec],
+    Tuple[object, DesignSpec, dict],
+]
+
 
 def env_scale(default: float = 1.0) -> float:
-    """Workload scale from ``REPRO_SCALE`` (default: calibrated 1.0)."""
-    try:
-        return float(os.environ.get("REPRO_SCALE", default))
-    except ValueError:
+    """Workload scale from ``REPRO_SCALE`` (default: calibrated 1.0).
+
+    A malformed value (e.g. ``REPRO_SCALE=0.2.5``) falls back to
+    ``default`` *with a warning* — silently simulating at the wrong scale
+    costs hours at the calibrated scale.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
         return default
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_SCALE={raw!r} (not a float); "
+            f"using scale {default:g}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+
+
+def env_jobs(default: int = 1) -> int:
+    """Parallel sweep width from ``REPRO_JOBS`` (default: serial).
+
+    Malformed values warn and fall back, mirroring :func:`env_scale`;
+    values below 1 are clamped to 1.
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return default
+    try:
+        jobs = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_JOBS={raw!r} (not an int); "
+            f"using {default} job(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return max(1, jobs)
+
+
+def _fmt_value(v: object) -> str:
+    """``{:.3f}`` when the value supports it, ``str`` otherwise."""
+    try:
+        return f"{v:.3f}"
+    except (TypeError, ValueError):
+        return str(v)
 
 
 @dataclass
@@ -56,41 +126,76 @@ class ExperimentReport:
     paper: Dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
-        """Human-readable table plus headline comparison."""
+        """Human-readable table plus headline comparison.
+
+        Summary/paper entries are usually floats but occasionally labels
+        (e.g. an application name); formatting degrades to ``str`` for
+        anything ``{:.3f}`` rejects instead of crashing the report.
+        """
         parts = [format_dict_table(self.rows, self.columns,
                                    title=f"[{self.experiment}] {self.title}")]
         if self.summary:
             parts.append("measured: " + ", ".join(
-                f"{k}={v:.3f}" for k, v in self.summary.items()))
+                f"{k}={_fmt_value(v)}" for k, v in self.summary.items()))
         if self.paper:
             parts.append("paper:    " + ", ".join(
-                f"{k}={v:.3f}" for k, v in self.paper.items()))
+                f"{k}={_fmt_value(v)}" for k, v in self.paper.items()))
         return "\n".join(parts)
 
 
-class Runner:
-    """Memoizing simulation runner shared across experiments."""
+def _simulate_point(point: Tuple[AppProfile, DesignSpec, SimConfig]) -> SimResult:
+    """Process-pool worker: one pure simulation from its frozen inputs."""
+    profile, spec, cfg = point
+    return simulate(profile, spec, cfg)
 
-    def __init__(self, config: Optional[SimConfig] = None):
+
+class Runner:
+    """Memoizing simulation runner shared across experiments.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`SimConfig`; defaults to ``SimConfig(scale=env_scale())``.
+    jobs:
+        Process-pool width for :meth:`run_many` misses.  ``None`` reads
+        ``REPRO_JOBS`` (default 1 = serial in-process).
+    cache:
+        Persistent result cache: a :class:`DiskResultCache`, a directory
+        path, ``None`` to consult ``REPRO_CACHE_DIR`` (off when unset),
+        or ``False`` to disable the disk layer regardless of environment.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        jobs: Optional[int] = None,
+        cache: Union[DiskResultCache, str, None, bool] = None,
+    ):
         self.config = config or SimConfig(scale=env_scale())
+        self.jobs = env_jobs() if jobs is None else max(1, int(jobs))
+        if cache is None:
+            self.disk_cache: Optional[DiskResultCache] = cache_from_env()
+        elif cache is False:
+            self.disk_cache = None
+        elif isinstance(cache, DiskResultCache):
+            self.disk_cache = cache
+        else:
+            self.disk_cache = DiskResultCache(cache)
         self._cache: Dict[tuple, SimResult] = {}
         self.sims_run = 0
 
-    def run(
+    # -- configuration resolution -----------------------------------------
+
+    def _resolve(
         self,
         app,
-        spec: DesignSpec,
         scheduler: Optional[str] = None,
         l1_latency_override: Optional[float] = None,
         gpu: Optional[GPUConfig] = None,
         scale: Optional[float] = None,
         overrides: Optional[dict] = None,
-    ) -> SimResult:
-        """Simulate (from cache when possible).
-
-        ``overrides`` maps additional :class:`SimConfig` field names to
-        values (used by the ablation studies).
-        """
+    ) -> Tuple[AppProfile, SimConfig]:
+        """Resolve one request to its frozen (profile, config) pair."""
         profile = get_app(app) if isinstance(app, str) else app
         cfg = self.config
         changes = dict(overrides) if overrides else {}
@@ -104,13 +209,111 @@ class Runner:
             changes["scale"] = scale
         if changes:
             cfg = dataclasses.replace(cfg, **changes)
-        key = (profile, spec, cfg)
-        result = self._cache.get(key)
+        return profile, cfg
+
+    # -- the three result layers -------------------------------------------
+
+    def _disk_get(self, point: tuple) -> Optional[SimResult]:
+        if self.disk_cache is None:
+            return None
+        return self.disk_cache.get(sim_cache_key(*point))
+
+    def _disk_put(self, point: tuple, result: SimResult) -> None:
+        if self.disk_cache is not None:
+            self.disk_cache.put(sim_cache_key(*point), result)
+
+    def _lookup(self, point: tuple) -> Optional[SimResult]:
+        """Memory layer, then disk layer (promoting disk hits to memory)."""
+        result = self._cache.get(point)
         if result is None:
-            result = simulate(profile, spec, cfg)
-            self._cache[key] = result
-            self.sims_run += 1
+            result = self._disk_get(point)
+            if result is not None:
+                self._cache[point] = result
         return result
+
+    def _store_miss(self, point: tuple, result: SimResult) -> None:
+        self._cache[point] = result
+        self.sims_run += 1
+        self._disk_put(point, result)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        app,
+        spec: DesignSpec,
+        scheduler: Optional[str] = None,
+        l1_latency_override: Optional[float] = None,
+        gpu: Optional[GPUConfig] = None,
+        scale: Optional[float] = None,
+        overrides: Optional[dict] = None,
+    ) -> SimResult:
+        """Simulate (from the memory or disk cache when possible).
+
+        ``overrides`` maps additional :class:`SimConfig` field names to
+        values (used by the ablation studies).
+        """
+        profile, cfg = self._resolve(
+            app, scheduler=scheduler, l1_latency_override=l1_latency_override,
+            gpu=gpu, scale=scale, overrides=overrides,
+        )
+        point = (profile, spec, cfg)
+        result = self._lookup(point)
+        if result is None:
+            result = _simulate_point(point)
+            self._store_miss(point, result)
+        return result
+
+    def run_many(
+        self,
+        points: Iterable[SweepPoint],
+        jobs: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Run a whole sweep grid; results in submission order.
+
+        Each point is ``(app, spec)`` or ``(app, spec, run_kwargs)``.
+        Duplicate points collapse to one simulation.  Points not served
+        by a cache layer fan out over a ``ProcessPoolExecutor`` when the
+        effective ``jobs`` exceeds 1; ordering, fingerprints and
+        ``sims_run`` accounting are identical to a serial loop, because
+        every simulation is a pure function of its frozen inputs.
+        """
+        resolved: List[tuple] = []
+        for item in points:
+            if len(item) == 2:
+                app, spec = item  # type: ignore[misc]
+                kwargs: dict = {}
+            elif len(item) == 3:
+                app, spec, kwargs = item  # type: ignore[misc]
+            else:
+                raise ValueError(
+                    f"sweep point must be (app, spec[, kwargs]); got {item!r}"
+                )
+            profile, cfg = self._resolve(app, **kwargs)
+            resolved.append((profile, spec, cfg))
+
+        results: List[Optional[SimResult]] = [None] * len(resolved)
+        pending: Dict[tuple, List[int]] = {}
+        for i, point in enumerate(resolved):
+            hit = self._lookup(point)
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending.setdefault(point, []).append(i)
+
+        misses = list(pending)
+        if misses:
+            width = self.jobs if jobs is None else max(1, int(jobs))
+            if width > 1 and len(misses) > 1:
+                with ProcessPoolExecutor(max_workers=min(width, len(misses))) as pool:
+                    fresh = list(pool.map(_simulate_point, misses, chunksize=1))
+            else:
+                fresh = [_simulate_point(p) for p in misses]
+            for point, result in zip(misses, fresh):
+                self._store_miss(point, result)
+                for i in pending[point]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
 
     def speedup(self, app, spec: DesignSpec, **kwargs) -> float:
         """IPC of ``spec`` normalized to the baseline design (same config)."""
@@ -118,7 +321,17 @@ class Runner:
         res = self.run(app, spec, **kwargs)
         return res.speedup_vs(base)
 
+    def result_fingerprints(self) -> Dict[str, Dict[str, object]]:
+        """Bit-exact identity of every memoized result, keyed by the
+        content-addressed cache key (comparing two runners that covered
+        the same grid — e.g. serial vs parallel — is a dict equality)."""
+        return {
+            sim_cache_key(*point): result.fingerprint()
+            for point, result in self._cache.items()
+        }
+
     def clear(self) -> None:
+        """Drop the in-memory layer (the disk cache is left untouched)."""
         self._cache.clear()
 
 
@@ -126,9 +339,16 @@ _DEFAULT: Optional[Runner] = None
 
 
 def default_runner() -> Runner:
-    """Process-wide shared runner (used by the benchmark harness)."""
+    """Process-wide shared runner (used by the benchmark harness).
+
+    Revalidated against the environment on every call: if ``REPRO_SCALE``
+    changed since the cached runner was built, a fresh runner (with a
+    fresh memo and current ``REPRO_JOBS``/``REPRO_CACHE_DIR`` settings)
+    replaces it — a stale runner would silently simulate at the old scale
+    *and* serve results memoized under it.
+    """
     global _DEFAULT
-    if _DEFAULT is None:
+    if _DEFAULT is None or _DEFAULT.config.scale != env_scale():
         _DEFAULT = Runner()
     return _DEFAULT
 

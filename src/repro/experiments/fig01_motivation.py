@@ -27,6 +27,12 @@ BIG_CACHE = DesignSpec.baseline(l1_size_mult=16.0, label="Baseline16x")
 
 
 def run(runner: Runner) -> ExperimentReport:
+    latency = runner.config.gpu.l1_latency
+    runner.run_many(
+        [(prof, BASELINE) for prof in all_apps()]
+        + [(prof, BIG_CACHE, {"l1_latency_override": latency})
+           for prof in all_apps()]
+    )
     rows = []
     sensitive_count = 0
     agreement = 0

@@ -22,6 +22,7 @@ PAPER = {
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([(prof, BASELINE) for prof in all_apps()])
     rows = []
     for prof in all_apps():
         res = runner.run(prof, BASELINE)

@@ -35,6 +35,13 @@ NODE_COUNTS = (80, 40, 20, 10)
 
 
 def run(runner: Runner) -> ExperimentReport:
+    specs = [BASELINE]
+    for y in NODE_COUNTS:
+        specs.append(DesignSpec.private(y))
+        specs.append(DesignSpec.private(y, perfect_l1=True))
+    specs.append(DesignSpec.baseline(perfect_l1=True, label="Base+PerfectL1"))
+    runner.run_many([(n, s) for n in REPLICATION_SENSITIVE for s in specs])
+
     rows = []
     summary = {}
     base_results = {n: runner.run(n, BASELINE) for n in REPLICATION_SENSITIVE}

@@ -27,6 +27,11 @@ SH40 = DesignSpec.shared(40)
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (name, spec)
+        for name in REPLICATION_SENSITIVE
+        for spec in (BASELINE, SH40)
+    ])
     rows = []
     for name in REPLICATION_SENSITIVE:
         base = runner.run(name, BASELINE)

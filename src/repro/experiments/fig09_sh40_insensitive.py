@@ -24,6 +24,11 @@ SH40 = DesignSpec.shared(40)
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (prof, spec)
+        for prof in replication_insensitive_apps()
+        for spec in (BASELINE, SH40)
+    ])
     rows = []
     for prof in replication_insensitive_apps():
         base = runner.run(prof, BASELINE)

@@ -28,11 +28,17 @@ CLUSTER_COUNTS = (1, 5, 10, 20, 40)
 
 
 def run(runner: Runner) -> ExperimentReport:
+    specs = {z: DesignSpec.clustered(40, z, label=f"C{z}") for z in CLUSTER_COUNTS}
+    runner.run_many([
+        (n, s)
+        for n in REPLICATION_SENSITIVE
+        for s in (BASELINE, *specs.values())
+    ])
     base_results = {n: runner.run(n, BASELINE) for n in REPLICATION_SENSITIVE}
     rows = []
     summary = {}
     for z in CLUSTER_COUNTS:
-        spec = DesignSpec.clustered(40, z, label=f"C{z}")
+        spec = specs[z]
         speedups, missn = [], []
         for name in REPLICATION_SENSITIVE:
             res = runner.run(name, spec)

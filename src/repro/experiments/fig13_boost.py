@@ -36,6 +36,11 @@ XBAR_SHAPES = ((80, 32), (80, 40), (40, 32), (16, 8), (10, 8), (8, 4), (4, 2), (
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (name, spec)
+        for name in POOR_PERFORMING
+        for spec in (BASELINE, *DESIGNS)
+    ])
     rows = []
     for name in POOR_PERFORMING:
         base = runner.run(name, BASELINE)

@@ -25,6 +25,11 @@ PAPER = {
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (prof, spec)
+        for prof in all_apps()
+        for spec in (BASELINE, *PROPOSED_DESIGNS)
+    ])
     curves = {}
     for spec in PROPOSED_DESIGNS:
         speedups = {}

@@ -24,6 +24,11 @@ PAPER = {
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (name, spec)
+        for name in REPLICATION_SENSITIVE
+        for spec in (BASELINE, *PROPOSED_DESIGNS)
+    ])
     rows = []
     base_missn = []
     base_replicas = []

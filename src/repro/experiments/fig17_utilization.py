@@ -20,6 +20,11 @@ PAPER = {
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (prof, spec)
+        for prof in all_apps()
+        for spec in (BASELINE, *PROPOSED_DESIGNS)
+    ])
     rows = []
     for prof in all_apps():
         row = {"app": prof.name}

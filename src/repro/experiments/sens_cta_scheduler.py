@@ -25,6 +25,12 @@ BOOST = DesignSpec.clustered(40, 10, boost=2.0)
 
 
 def run(runner: Runner) -> ExperimentReport:
+    runner.run_many([
+        (name, spec, {"scheduler": sched})
+        for sched in ("round_robin", "distributed")
+        for name in REPLICATION_SENSITIVE
+        for spec in (BASELINE, BOOST)
+    ])
     rows = []
     for sched in ("round_robin", "distributed"):
         speedups, repl = [], []

@@ -4,6 +4,7 @@ from repro.sim.config import GPUConfig, SimConfig
 from repro.sim.engine import Engine
 from repro.sim.resources import Server
 from repro.sim.results import SimResult
+from repro.sim.store import CACHE_SCHEMA_VERSION, DiskResultCache, sim_cache_key
 from repro.sim.system import GPUSystem, simulate
 from repro.sim.watchdog import (
     SimStallError,
@@ -19,6 +20,9 @@ __all__ = [
     "Engine",
     "Server",
     "SimResult",
+    "CACHE_SCHEMA_VERSION",
+    "DiskResultCache",
+    "sim_cache_key",
     "GPUSystem",
     "simulate",
     "SimStallError",

@@ -110,6 +110,30 @@ class SimResult:
             return 1.0 if self.l1_miss_rate == 0 else float("inf")
         return self.l1_miss_rate / baseline.l1_miss_rate
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """Full lossless serialization (the persistent result cache).
+
+        Unlike :meth:`as_dict` (a flat human-facing summary), this
+        round-trips *every* field: loading the output back through
+        :meth:`from_jsonable` yields a result whose :meth:`fingerprint`
+        is bit-identical to the original's.
+        """
+        data = asdict(self)
+        data["l1"] = self.l1.to_dict()
+        data["l2"] = self.l2.to_dict()
+        data["noc_traffic"] = [list(t) for t in self.noc_traffic]
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "SimResult":
+        """Inverse of :meth:`to_jsonable`; unknown/missing fields raise
+        (the persistent cache treats that as a miss, not a crash)."""
+        fields = dict(data)
+        fields["l1"] = CacheStats.from_dict(fields["l1"])
+        fields["l2"] = CacheStats.from_dict(fields["l2"])
+        fields["noc_traffic"] = [tuple(t) for t in fields["noc_traffic"]]
+        return cls(**fields)
+
     def as_dict(self) -> Dict[str, float]:
         """Flat summary for tabulation/serialization."""
         return {

@@ -1,0 +1,182 @@
+"""Persistent, content-addressed simulation-result store.
+
+Every paper figure is a grid of (application x design) simulations, and
+the same points recur across figures, pytest workers, CLI invocations and
+benchmark re-runs.  The in-process memo inside
+:class:`repro.experiments.base.Runner` only helps within one process;
+this module adds the cross-process layer: a content-addressed on-disk
+cache keyed by the *inputs* of a simulation.
+
+Key derivation
+--------------
+:func:`sim_cache_key` hashes the full frozen configuration triple —
+:class:`~repro.workloads.profile.AppProfile`,
+:class:`~repro.core.designs.DesignSpec` and
+:class:`~repro.sim.config.SimConfig` (including the nested
+:class:`~repro.sim.config.GPUConfig`) — plus the cache schema version
+into one SHA-256 hex digest.  All three are frozen dataclasses, so
+``dataclasses.asdict`` enumerates every field; the JSON serialization is
+canonical (sorted keys, no whitespace), which makes the key stable across
+processes and platforms.  Any changed field changes the key; unknown
+field types fail loudly rather than hash ambiguously.
+
+Layout and versioning
+---------------------
+``<root>/v<SCHEMA>/<key[:2]>/<key>.json`` — one JSON document per result,
+fanned out over 256 subdirectories.  ``SCHEMA`` is
+:data:`CACHE_SCHEMA_VERSION`; it participates in both the key and the
+directory path, so bumping it orphans every old entry at once (stale
+trees can simply be deleted).  Bump it whenever the simulator's observable
+behaviour changes (new :class:`~repro.sim.results.SimResult` fields,
+model fixes, config-field semantics).
+
+Robustness
+----------
+Writes are atomic (temp file + ``os.replace``) so concurrent processes
+never observe a half-written entry.  Reads treat *any* failure —
+missing, truncated, corrupted, schema-mismatched or stale-field files —
+as a cache miss, never an error; the entry is re-simulated and
+overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.designs import DesignSpec
+from repro.sim.config import SimConfig
+from repro.sim.results import SimResult
+from repro.workloads.profile import AppProfile
+
+#: Version of the (key, payload) schema.  Part of every key and of the
+#: on-disk path; bump to invalidate all previously cached results.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default cache directory.  Unset (or
+#: empty) means the persistent cache is off unless a directory is passed
+#: explicitly.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _canonical(obj: object) -> object:
+    """Recursively reduce dataclasses/enums/containers to JSON-safe data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for cache keying")
+
+
+def sim_cache_key(profile: AppProfile, spec: DesignSpec, cfg: SimConfig) -> str:
+    """Stable content-addressed key for one simulation point.
+
+    Same logical (profile, spec, config) -> same hex key in every
+    process; any changed field -> a different key.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "profile": _canonical(profile),
+        "design": _canonical(spec),
+        "config": _canonical(cfg),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DiskResultCache:
+    """Content-addressed on-disk :class:`SimResult` cache.
+
+    ``get`` returns ``None`` on any miss *or* unreadable entry; ``put``
+    writes atomically so concurrent writers are safe (last writer wins
+    with identical content, since keys are content-addressed).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def path_for(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """Load a cached result, or ``None`` (corrupt entries are misses)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if doc.get("schema") != CACHE_SCHEMA_VERSION or doc.get("key") != key:
+                raise ValueError("cache entry schema/key mismatch")
+            result = SimResult.from_jsonable(doc["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, corrupted or written by an incompatible
+            # schema: behave exactly like a cold miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Atomically persist one result under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": result.to_jsonable(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Drop every entry of the *current* schema version."""
+        shutil.rmtree(self.version_dir, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskResultCache({str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def cache_from_env() -> Optional[DiskResultCache]:
+    """Cache named by ``REPRO_CACHE_DIR``, or ``None`` when unset/empty."""
+    root = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return DiskResultCache(root) if root else None

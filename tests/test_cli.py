@@ -79,6 +79,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Pr40" in out and "Sh40+C10" in out
 
+    def test_sweep_parallel_with_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        args = ["sweep", "C-NN", "--scale", "0.05", "--jobs", "2",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        # Warm rerun: every point is served from the persistent cache and
+        # the rendered table is identical.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert any((tmp_path / "cache").rglob("*.json"))
+
+    def test_no_cache_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(["sweep", "C-NN", "--scale", "0.05", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "envcache").exists()
+
+    def test_figures_jobs_flag_parses(self):
+        args = build_parser().parse_args(
+            ["figures", "fig14", "--jobs", "4", "--cache-dir", "/tmp/x"])
+        assert args.jobs == 4 and args.cache_dir == "/tmp/x"
+        assert args.no_cache is False
+
     def test_python_dash_m_entry(self):
         import subprocess
         import sys

@@ -1,8 +1,18 @@
 """Tests for experiment-report rendering and runner configuration."""
 
+import warnings
+
 import pytest
 
-from repro.experiments.base import BASELINE, ExperimentReport, Runner, env_scale
+import repro.experiments.base as base
+from repro.experiments.base import (
+    BASELINE,
+    ExperimentReport,
+    Runner,
+    default_runner,
+    env_jobs,
+    env_scale,
+)
 from repro.sim.config import SimConfig
 
 
@@ -16,9 +26,57 @@ class TestEnvScale:
         monkeypatch.setenv("REPRO_SCALE", "0.25")
         assert env_scale() == 0.25
 
-    def test_garbage_falls_back(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SCALE", "lots")
-        assert env_scale(0.7) == 0.7
+    def test_garbage_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.2.5")
+        with pytest.warns(RuntimeWarning, match="REPRO_SCALE='0.2.5'"):
+            assert env_scale(0.7) == 0.7
+
+    def test_valid_value_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_scale() == 0.25
+
+
+class TestEnvJobs:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert env_jobs() == 1
+        assert env_jobs(4) == 4
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert env_jobs() == 8
+
+    def test_garbage_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='many'"):
+            assert env_jobs() == 1
+
+    def test_clamped_to_at_least_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert env_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert env_jobs() == 1
+
+
+class TestDefaultRunner:
+    def test_cached_between_calls(self, monkeypatch):
+        monkeypatch.setattr(base, "_DEFAULT", None)
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert default_runner() is default_runner()
+
+    def test_rebuilt_when_env_scale_changes(self, monkeypatch):
+        monkeypatch.setattr(base, "_DEFAULT", None)
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        stale = default_runner()
+        assert stale.config.scale == 0.25
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        fresh = default_runner()
+        assert fresh is not stale
+        assert fresh.config.scale == 0.5
+        # Stable again at the new scale.
+        assert default_runner() is fresh
 
 
 class TestExperimentReport:
@@ -44,6 +102,20 @@ class TestExperimentReport:
         text = rep.render()
         assert "measured:" not in text
         assert "paper:" not in text
+
+    def test_render_non_float_values(self):
+        """Summary/paper values that are not floats (labels, None, ...)
+        must render, not crash the report."""
+        rep = ExperimentReport(
+            "e", "t", ["c"], rows=[{"c": 1}],
+            summary={"best_app": "T-AlexNet", "speedup": 1.5, "count": 3},
+            paper={"best_app": "T-AlexNet", "missing": None},
+        )
+        text = rep.render()
+        assert "best_app=T-AlexNet" in text
+        assert "speedup=1.500" in text
+        assert "count=3.000" in text
+        assert "missing=None" in text
 
 
 class TestRunnerOverrides:

@@ -1,0 +1,227 @@
+"""Tests for the persistent result store: key stability, collision
+resistance, serialization round-trips, and corruption tolerance."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.sim.config import GPUConfig, SimConfig
+from repro.sim.store import (
+    CACHE_SCHEMA_VERSION,
+    DiskResultCache,
+    sim_cache_key,
+)
+from repro.sim.system import simulate
+from repro.workloads.profile import AppProfile
+from repro.workloads.suite import get_app
+
+PROFILE = AppProfile(name="unit", num_ctas=4, accesses_per_cta=8)
+SPEC = DesignSpec.clustered(8, 4)
+CFG = SimConfig(gpu=GPUConfig(num_cores=16, num_l2_slices=8, num_channels=4))
+
+
+class TestCacheKey:
+    def test_key_is_stable_hex(self):
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        assert key == sim_cache_key(PROFILE, SPEC, CFG)
+        assert len(key) == 64
+        int(key, 16)  # hex digest
+
+    def test_equal_values_equal_keys(self):
+        """Logically identical, separately constructed inputs agree."""
+        profile2 = AppProfile(name="unit", num_ctas=4, accesses_per_cta=8)
+        spec2 = DesignSpec.clustered(8, 4)
+        cfg2 = SimConfig(gpu=GPUConfig(num_cores=16, num_l2_slices=8, num_channels=4))
+        assert sim_cache_key(profile2, spec2, cfg2) == sim_cache_key(PROFILE, SPEC, CFG)
+
+    def test_key_stable_across_processes(self):
+        """Same logical config -> same key in a fresh interpreter."""
+        script = (
+            "from repro.sim.store import sim_cache_key\n"
+            "from repro.sim.config import GPUConfig, SimConfig\n"
+            "from repro.core.designs import DesignSpec\n"
+            "from repro.workloads.profile import AppProfile\n"
+            "print(sim_cache_key(\n"
+            "    AppProfile(name='unit', num_ctas=4, accesses_per_cta=8),\n"
+            "    DesignSpec.clustered(8, 4),\n"
+            "    SimConfig(gpu=GPUConfig(num_cores=16, num_l2_slices=8,\n"
+            "                            num_channels=4))))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=dict(os.environ),
+        )
+        assert out.stdout.strip() == sim_cache_key(PROFILE, SPEC, CFG)
+
+    @pytest.mark.parametrize("field_name", [f.name for f in dataclasses.fields(SimConfig)])
+    def test_any_simconfig_field_changes_key(self, field_name):
+        base = sim_cache_key(PROFILE, SPEC, CFG)
+        current = getattr(CFG, field_name)
+        changed = {
+            "gpu": GPUConfig(num_cores=32, num_l2_slices=8, num_channels=4),
+            "scale": 0.123,
+            "cta_scheduler": "distributed",
+            "seed": 99,
+            "l1_latency_override": 11.0,
+            "home_strategy": "bits",
+            "home_bit_shift": 3,
+            "full_line_noc1_replies": True,
+            "l1_policy": "fifo",
+            "l2_policy": "fifo",
+            "l1_bypass": True,
+            "dcl1_queue_depth": 4,
+            "sanitize": True,
+            "watchdog": True,
+            "watchdog_window": 1.0,
+            "watchdog_same_cycle_limit": 7,
+            "race_check": True,
+            "race_seed": 42,
+            "max_events": 123,
+        }[field_name]
+        assert changed != current, field_name
+        cfg = dataclasses.replace(CFG, **{field_name: changed})
+        assert sim_cache_key(PROFILE, SPEC, cfg) != base, field_name
+
+    @pytest.mark.parametrize("field_name,value", [
+        ("kind", DesignSpec.baseline().kind),
+        ("num_dcl1", 4),
+        ("num_clusters", 8),
+        ("noc1_freq_mult", 2.0),
+        ("noc2_freq_mult", 2.0),
+        ("l1_size_mult", 16.0),
+        ("perfect_l1", True),
+        ("label", "other"),
+    ])
+    def test_any_designspec_field_changes_key(self, field_name, value):
+        base = sim_cache_key(PROFILE, SPEC, CFG)
+        assert value != getattr(SPEC, field_name)
+        spec = dataclasses.replace(SPEC, **{field_name: value})
+        assert sim_cache_key(PROFILE, spec, CFG) != base
+
+    @pytest.mark.parametrize("field_name,value", [
+        ("name", "other"),
+        ("num_ctas", 5),
+        ("accesses_per_cta", 9),
+        ("shared_lines", 64),
+        ("block_repeats", 3),
+        ("store_fraction", 0.25),
+        ("imbalance", 0.5),
+        ("trace_variant", 1),
+    ])
+    def test_any_profile_field_changes_key(self, field_name, value):
+        base = sim_cache_key(PROFILE, SPEC, CFG)
+        assert value != getattr(PROFILE, field_name)
+        profile = dataclasses.replace(PROFILE, **{field_name: value})
+        assert sim_cache_key(profile, SPEC, CFG) != base
+
+    def test_gpu_field_changes_key(self):
+        base = sim_cache_key(PROFILE, SPEC, CFG)
+        gpu = dataclasses.replace(CFG.gpu, l1_latency=30.0)
+        cfg = dataclasses.replace(CFG, gpu=gpu)
+        assert sim_cache_key(PROFILE, SPEC, cfg) != base
+
+    def test_schema_version_changes_key(self, monkeypatch):
+        import repro.sim.store as store
+
+        base = sim_cache_key(PROFILE, SPEC, CFG)
+        monkeypatch.setattr(store, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1)
+        assert sim_cache_key(PROFILE, SPEC, CFG) != base
+
+
+class TestSerializationRoundtrip:
+    def test_fingerprint_survives_roundtrip(self, tiny_config):
+        from repro.sim.results import SimResult
+
+        res = simulate(get_app("T-AlexNet"), SPEC,
+                       dataclasses.replace(tiny_config, scale=0.02))
+        blob = json.dumps(res.to_jsonable())
+        back = SimResult.from_jsonable(json.loads(blob))
+        assert back.fingerprint() == res.fingerprint()
+
+    def test_unknown_field_raises(self):
+        from repro.sim.results import SimResult
+
+        data = SimResult().to_jsonable()
+        data["not_a_field"] = 1
+        with pytest.raises(TypeError):
+            SimResult.from_jsonable(data)
+
+
+class TestDiskResultCache:
+    def make_result(self, tiny_config):
+        return simulate(get_app("C-BLK"), SPEC,
+                        dataclasses.replace(tiny_config, scale=0.02))
+
+    def test_roundtrip(self, tmp_path, tiny_config):
+        cache = DiskResultCache(tmp_path)
+        res = self.make_result(tiny_config)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        assert cache.get(key) is None
+        cache.put(key, res)
+        assert len(cache) == 1
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.fingerprint() == res.fingerprint()
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_layout_is_versioned_and_fanned_out(self, tmp_path, tiny_config):
+        cache = DiskResultCache(tmp_path)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        cache.put(key, self.make_result(tiny_config))
+        path = cache.path_for(key)
+        assert path.exists()
+        assert path.parent.name == key[:2]
+        assert path.parent.parent.name == f"v{CACHE_SCHEMA_VERSION}"
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, tiny_config):
+        cache = DiskResultCache(tmp_path)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        cache.put(key, self.make_result(tiny_config))
+        path = cache.path_for(key)
+        path.write_text(path.read_text()[: 40])
+        assert cache.get(key) is None
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all \x00\x01")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, tiny_config):
+        cache = DiskResultCache(tmp_path)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        cache.put(key, self.make_result(tiny_config))
+        path = cache.path_for(key)
+        doc = json.loads(path.read_text())
+        doc["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        assert cache.get(key) is None
+
+    def test_stale_result_fields_are_a_miss(self, tmp_path, tiny_config):
+        """An entry written by a simulator with different SimResult fields
+        must not deserialize into a half-filled result."""
+        cache = DiskResultCache(tmp_path)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        cache.put(key, self.make_result(tiny_config))
+        path = cache.path_for(key)
+        doc = json.loads(path.read_text())
+        doc["result"]["field_from_the_future"] = 1
+        path.write_text(json.dumps(doc))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path, tiny_config):
+        cache = DiskResultCache(tmp_path)
+        key = sim_cache_key(PROFILE, SPEC, CFG)
+        cache.put(key, self.make_result(tiny_config))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(key) is None

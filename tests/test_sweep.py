@@ -1,0 +1,126 @@
+"""Tests for the parallel sweep engine (Runner.run_many) and the layered
+result cache: determinism vs serial cold runs, warm-cache replay, and the
+runner-level cache accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import BASELINE, PROPOSED_DESIGNS, Runner
+from repro.experiments.registry import run_experiment
+from repro.sim.config import SimConfig
+
+SCALE = 0.05
+BOOST = PROPOSED_DESIGNS[-1]
+
+
+def fresh_runner(**kwargs) -> Runner:
+    kwargs.setdefault("cache", False)
+    return Runner(SimConfig(scale=SCALE), **kwargs)
+
+
+class TestRunMany:
+    GRID = [("C-BLK", BASELINE), ("C-BLK", BOOST), ("T-AlexNet", BASELINE)]
+
+    def test_results_in_submission_order(self):
+        runner = fresh_runner()
+        results = runner.run_many(self.GRID)
+        assert [r.app for r in results] == ["C-BLK", "C-BLK", "T-AlexNet"]
+        assert results[0].design == BASELINE.label
+        assert results[1].design == BOOST.label
+
+    def test_matches_run_exactly(self):
+        many = fresh_runner()
+        r_many = many.run_many(self.GRID)
+        single = fresh_runner()
+        r_single = [single.run(app, spec) for app, spec in self.GRID]
+        assert [a.fingerprint() for a in r_many] == [b.fingerprint() for b in r_single]
+        assert many.sims_run == single.sims_run == 3
+
+    def test_duplicate_points_collapse(self):
+        runner = fresh_runner()
+        results = runner.run_many([("C-BLK", BASELINE)] * 4)
+        assert runner.sims_run == 1
+        assert all(r is results[0] for r in results)
+
+    def test_kwargs_points(self):
+        runner = fresh_runner()
+        plain, sched = runner.run_many([
+            ("C-BLK", BASELINE),
+            ("C-BLK", BASELINE, {"scheduler": "distributed"}),
+        ])
+        assert runner.sims_run == 2
+        # Same point via run() with the same kwargs is already memoized.
+        assert runner.run("C-BLK", BASELINE, scheduler="distributed") is sched
+        assert runner.run("C-BLK", BASELINE) is plain
+
+    def test_bad_point_shape_raises(self):
+        runner = fresh_runner()
+        with pytest.raises(ValueError, match="sweep point"):
+            runner.run_many([("C-BLK",)])
+
+    def test_parallel_identical_to_serial(self):
+        serial = fresh_runner()
+        parallel = fresh_runner()
+        r_serial = serial.run_many(self.GRID, jobs=1)
+        r_parallel = parallel.run_many(self.GRID, jobs=2)
+        assert parallel.sims_run == serial.sims_run == 3
+        assert [a.fingerprint() for a in r_serial] == \
+               [b.fingerprint() for b in r_parallel]
+
+
+class TestDiskCacheIntegration:
+    def test_run_populates_and_reads_disk(self, tmp_path):
+        first = fresh_runner(cache=str(tmp_path))
+        a = first.run("C-BLK", BASELINE)
+        assert first.sims_run == 1
+        # A *fresh* runner (empty memory layer) is served from disk.
+        second = fresh_runner(cache=str(tmp_path))
+        b = second.run("C-BLK", BASELINE)
+        assert second.sims_run == 0
+        assert b.fingerprint() == a.fingerprint()
+
+    def test_warm_cache_rerun_runs_zero_sims(self, tmp_path):
+        grid = [(app, spec) for app in ("C-BLK", "T-AlexNet")
+                for spec in (BASELINE, BOOST)]
+        cold = fresh_runner(cache=str(tmp_path))
+        r_cold = cold.run_many(grid, jobs=2)
+        assert cold.sims_run == len(grid)
+        warm = fresh_runner(cache=str(tmp_path))
+        r_warm = warm.run_many(grid, jobs=2)
+        assert warm.sims_run == 0
+        assert warm.disk_cache is not None and warm.disk_cache.hits == len(grid)
+        assert [a.fingerprint() for a in r_cold] == [b.fingerprint() for b in r_warm]
+
+    def test_cache_false_disables_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert Runner(SimConfig(scale=SCALE)).disk_cache is not None
+        assert Runner(SimConfig(scale=SCALE), cache=False).disk_cache is None
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert Runner(SimConfig(scale=SCALE)).disk_cache is None
+
+
+class TestRealExperimentGrid:
+    """The acceptance anchor: a real experiment grid run three ways —
+    serial cold, parallel cold, warm cache — is fingerprint-identical,
+    and the warm replay executes zero new simulations."""
+
+    EXPERIMENT = "fig08"
+
+    def test_parallel_and_cache_match_serial_cold(self, tmp_path):
+        serial = fresh_runner()
+        report_serial = run_experiment(self.EXPERIMENT, serial)
+        assert serial.sims_run > 0
+
+        parallel = fresh_runner(cache=str(tmp_path), jobs=2)
+        report_parallel = run_experiment(self.EXPERIMENT, parallel)
+        assert parallel.sims_run == serial.sims_run
+        assert parallel.result_fingerprints() == serial.result_fingerprints()
+
+        warm = fresh_runner(cache=str(tmp_path), jobs=2)
+        report_warm = run_experiment(self.EXPERIMENT, warm)
+        assert warm.sims_run == 0
+        assert warm.result_fingerprints() == serial.result_fingerprints()
+
+        assert report_parallel.summary == report_serial.summary
+        assert report_warm.summary == report_serial.summary
