@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow analyze
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow analyze profile perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -55,6 +55,16 @@ analyze:
 sanitize-test:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -q tests/test_sanitizer.py \
 		tests/test_system.py tests/test_validation.py tests/test_experiments.py
+
+# Per-handler event profile of the acceptance workload (SimTurbo
+# observability; see docs/performance.md for how to read the table).
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.cli profile --app T-AlexNet --design Sh40 --scale $(SCALE)
+
+# Engine throughput smoke: fingerprint-gated, timing recorded (not
+# asserted) in benchmarks/results/engine.txt.
+perf-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_engine.py -q
 
 figures:
 	$(PYTHON) examples/paper_figures.py --all --scale $(SCALE)

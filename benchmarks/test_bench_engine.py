@@ -1,0 +1,62 @@
+"""Bench: SimTurbo per-sim engine throughput (the PR's acceptance run).
+
+Runs the acceptance workload — Sh40 on T-AlexNet at the session scale —
+once uninstrumented and once under the event profiler, and appends both
+wall-clock records to ``results/engine.txt``.
+
+Gating is *fingerprint only*: at the calibrated scale the run must
+reproduce the pre-SimTurbo golden hash bit-exactly, and the profiled run
+must match the plain run at any scale.  The timing numbers are recorded
+for trend-watching but never asserted — wall clock is hardware.
+"""
+
+import hashlib
+import json
+
+from repro.core.designs import DesignSpec
+from repro.experiments.base import env_scale
+from repro.sim.config import SimConfig
+from repro.sim.profiler import profile_simulation
+from repro.sim.system import simulate
+from repro.workloads.suite import get_app
+
+# SHA-256 of the canonical JSON fingerprint of (T-AlexNet, Sh40,
+# scale=1.0), captured on the pre-SimTurbo tree (commit 23318a7).
+GOLDEN_SCALE_1 = "ca1e6b42fd1c84d054d5058959da554e794eabc35c13b1c8ff431c71e19f6f9d"
+
+
+def _hash(res) -> str:
+    blob = json.dumps(res.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_bench_engine(benchmark, results_dir):
+    scale = env_scale()
+    app = get_app("T-AlexNet")
+    spec = DesignSpec.shared(40)
+    cfg = SimConfig(scale=scale)
+
+    # Plain (fast-path) run: simulate() directly, never cache-served.
+    res = benchmark.pedantic(simulate, args=(app, spec, cfg), rounds=1, iterations=1)
+
+    # Profiled run: same simulation, slow drain, per-handler attribution.
+    pres, prof = profile_simulation(app, spec, cfg)
+
+    # -- gates: identity, not speed --------------------------------------
+    assert _hash(pres) == _hash(res), "profiled run diverged from fast path"
+    if scale == 1.0:
+        assert _hash(res) == GOLDEN_SCALE_1, "fast path diverged from seed"
+
+    # -- non-gating timing record ----------------------------------------
+    events = int(round(res.wall_time_s * res.events_per_s))
+    hottest = prof.rows()[0]
+    record = (
+        f"engine: scale={scale:g}, events={events}, "
+        f"plain {res.wall_time_s:.2f}s ({res.events_per_s:,.0f} events/s), "
+        f"profiled {pres.wall_time_s:.2f}s ({pres.events_per_s:,.0f} events/s), "
+        f"hottest={hottest.handler} ({hottest.pct:.0f}%)"
+    )
+    with open(results_dir / "engine.txt", "a", encoding="utf-8") as fh:
+        fh.write(record + "\n")
+    print()
+    print(record)

@@ -5,6 +5,7 @@ The subcommands cover the library's main entry points::
     repro simulate T-AlexNet --design Sh40+C10+Boost --scale 0.5
     repro simulate T-AlexNet --sanitize        # run under the SimSanitizer
     repro simulate T-AlexNet --watchdog        # stall watchdog + wait graphs
+    repro profile --app T-AlexNet --design Sh40  # per-handler event profile
     repro characterize --scale 1.0
     repro figures fig14 fig16
     repro figures --all --jobs 8 --cache-dir ~/.cache/repro  # parallel + persistent
@@ -104,6 +105,22 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.sim.profiler import profile_simulation
+
+    cfg = SimConfig(scale=args.scale)
+    app = get_app(args.app)
+    res, prof = profile_simulation(app, args.design, cfg)
+    print(f"{app.name} @ {args.design.label}, scale {args.scale:g}")
+    print(prof.render(top=args.top))
+    print(
+        f"sim: ipc={res.ipc:.2f} cycles={res.cycles:.0f} "
+        f"events={prof.total_events} wall={res.wall_time_s:.3f}s "
+        f"({res.events_per_s:,.0f} events/s end-to-end)"
+    )
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.analysis.classify import classify
     from repro.workloads.suite import REPLICATION_SENSITIVE, all_apps
@@ -173,6 +190,11 @@ def _cmd_figures(args) -> int:
         t0 = time.time()  # simlint: disable=SL101
         print(run_experiment(exp_id, runner).render())
         print(f"({time.time() - t0:.1f}s)\n")  # simlint: disable=SL101
+    # Observability goes to stderr: stdout stays a deterministic result
+    # stream (cold and cache-warm reruns must diff clean).
+    summary = runner.throughput_summary()
+    if summary:
+        print(summary, file=sys.stderr)
     return 0
 
 
@@ -191,6 +213,11 @@ def _cmd_sweep(args) -> int:
     ]
     print(format_table(["design", "speedup", "miss"], rows,
                        title=f"Design-space sweep: {app.name}"))
+    # Observability goes to stderr: stdout stays a deterministic result
+    # stream (cold and cache-warm reruns must diff clean).
+    summary = runner.throughput_summary()
+    if summary:
+        print(summary, file=sys.stderr)
     return 0
 
 
@@ -389,6 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "run raises SimStallError with a resource wait-graph "
                         "dump instead of hanging")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-handler event profile of one simulation (SimTurbo observability)",
+    )
+    p.add_argument("--app", choices=APP_NAMES, required=True)
+    p.add_argument("--design", type=parse_design, default=DesignSpec.shared(40),
+                   help="design label or constructor string (default Sh40)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--top", type=int, default=0,
+                   help="limit the table to the N hottest handlers (0 = all)")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("characterize", help="Figure 1 classification of the suite")
     p.add_argument("--scale", type=float, default=1.0)

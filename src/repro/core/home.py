@@ -19,6 +19,8 @@ Two selection strategies are provided:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.clusters import ClusterGeometry
 
 
@@ -55,6 +57,24 @@ class HomeMapper:
         """
         cluster = core_id // self._n
         return cluster * self._m + self.range_of_line(line)
+
+    def make_fast_home_of(self) -> Callable[[int, int], int]:
+        """Build a closure equivalent to :meth:`home_of` with the strategy
+        branch and the ``M``/``N`` lookups resolved once (hot-path route
+        pre-binding; ``home_of`` runs once per issued request)."""
+        m, n = self._m, self._n
+        if m == 1:
+            def home_of(core_id: int, line: int) -> int:
+                return core_id // n
+        elif self.strategy == "bits":
+            shift, mask = self.bit_shift, m - 1
+
+            def home_of(core_id: int, line: int) -> int:
+                return (core_id // n) * m + ((line >> shift) & mask)
+        else:
+            def home_of(core_id: int, line: int) -> int:
+                return (core_id // n) * m + line % m
+        return home_of
 
     def homes_of_line(self, line: int):
         """All DC-L1 nodes across clusters that may hold ``line``."""

@@ -183,6 +183,13 @@ class Runner:
             self.disk_cache = DiskResultCache(cache)
         self._cache: Dict[tuple, SimResult] = {}
         self.sims_run = 0
+        # Aggregate simulator observability (fresh runs only — cache hits
+        # cost no simulator time): total wall seconds spent inside
+        # GPUSystem.run and total events drained there.  Parallel sweeps
+        # accumulate the per-process wall times, so the aggregate events/s
+        # reflects per-sim throughput, not sweep elapsed time.
+        self.sim_wall_s = 0.0
+        self.sim_events = 0
 
     # -- configuration resolution -----------------------------------------
 
@@ -234,6 +241,8 @@ class Runner:
     def _store_miss(self, point: tuple, result: SimResult) -> None:
         self._cache[point] = result
         self.sims_run += 1
+        self.sim_wall_s += result.wall_time_s
+        self.sim_events += int(round(result.wall_time_s * result.events_per_s))
         self._disk_put(point, result)
 
     # -- public API ---------------------------------------------------------
@@ -314,6 +323,17 @@ class Runner:
                 for i in pending[point]:
                     results[i] = result
         return results  # type: ignore[return-value]
+
+    def throughput_summary(self) -> str:
+        """One-line aggregate of simulator throughput (``repro figures``,
+        bench harness).  Empty when every request was cache-served."""
+        if self.sims_run == 0 or self.sim_wall_s <= 0.0:
+            return ""
+        rate = self.sim_events / self.sim_wall_s
+        return (
+            f"{self.sims_run} sim(s), {self.sim_wall_s:.1f}s simulator time, "
+            f"{rate:,.0f} events/s"
+        )
 
     def speedup(self, app, spec: DesignSpec, **kwargs) -> float:
         """IPC of ``spec`` normalized to the baseline design (same config)."""

@@ -27,7 +27,7 @@ class Wavefront:
 
     __slots__ = (
         "core_id", "slot", "stream", "pc", "compute_gap", "done",
-        "mlp", "outstanding", "issue_pending", "_length",
+        "mlp", "outstanding", "issue_pending", "_length", "_lines", "_kinds",
     )
 
     def __init__(self, core_id: int, slot: int, stream, compute_gap: float, mlp: int = 1):
@@ -35,22 +35,32 @@ class Wavefront:
             raise ValueError("mlp must be >= 1")
         self.core_id = core_id
         self.slot = slot
-        self.stream = stream
-        self.pc = 0
         self.compute_gap = compute_gap
-        self._length = 0 if stream is None else len(stream)
-        self.done = self._length == 0
         self.mlp = mlp
         self.outstanding = 0
         self.issue_pending = False
+        self.bind(stream)
 
     def bind(self, stream, compute_gap: Optional[float] = None) -> None:
-        """Attach a new CTA stream to this context (CTA replacement)."""
+        """Attach a new CTA stream to this context (CTA replacement).
+
+        The stream's line/kind arrays are materialized as plain Python
+        lists once per bind: indexing a NumPy array boxes a NumPy scalar
+        per access, and :meth:`next_access` runs once per memory
+        instruction — the simulator's single hottest call site.
+        """
         self.stream = stream
         self.pc = 0
         if compute_gap is not None:
             self.compute_gap = compute_gap
-        self._length = 0 if stream is None else len(stream)
+        if stream is None:
+            self._length = 0
+            self._lines = self._kinds = ()
+        else:
+            self._length = len(stream)
+            lines, kinds = stream.lines, stream.kinds
+            self._lines = lines.tolist() if hasattr(lines, "tolist") else lines
+            self._kinds = kinds.tolist() if hasattr(kinds, "tolist") else kinds
         self.done = self._length == 0
 
     def next_access(self) -> Optional[Tuple[int, int]]:
@@ -64,8 +74,8 @@ class Wavefront:
         if self.done:
             return None
         pc = self.pc
-        line = int(self.stream.lines[pc])
-        kind = int(self.stream.kinds[pc])
+        line = self._lines[pc]
+        kind = self._kinds[pc]
         self.pc = pc + 1
         if self.pc >= self._length:
             self.done = True

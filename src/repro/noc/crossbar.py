@@ -72,6 +72,30 @@ class Crossbar:
             )
         return t_out
 
+    def traverse_fast(self, now: float, in_port: int, out_port: int, flits: int) -> float:
+        """Uninstrumented :meth:`traverse`: both port reservations inlined
+        (see :meth:`Server.reserve_fast <repro.sim.resources.Server.reserve_fast>`),
+        no ledger validation.  Arithmetic must stay in lockstep with
+        ``traverse`` — the fingerprint-identity tests guard the pairing.
+        Selected at wiring time (``NoCTopology.make_fast_routes``) only
+        when no sanitizer is attached.
+        """
+        self.flit_hops += flits
+        p = self._in[in_port]
+        start = now if now > p.next_free else p.next_free
+        occupancy = p.service * flits
+        p.next_free = start + occupancy
+        p.busy_cycles += occupancy
+        p.num_served += 1
+        t_in = start + occupancy + p.latency
+        p = self._out[out_port]
+        start = t_in if t_in > p.next_free else p.next_free
+        occupancy = p.service * flits
+        p.next_free = start + occupancy
+        p.busy_cycles += occupancy
+        p.num_served += 1
+        return start + occupancy + p.latency
+
     def inject_out(self, now: float, out_port: int, flits: int) -> float:
         """Reserve only the output port (for direct-link degenerate cases)."""
         self.flit_hops += flits

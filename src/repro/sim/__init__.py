@@ -2,6 +2,7 @@
 
 from repro.sim.config import GPUConfig, SimConfig
 from repro.sim.engine import Engine
+from repro.sim.profiler import EventProfiler, ProfileRow, profile_simulation
 from repro.sim.resources import Server
 from repro.sim.results import SimResult
 from repro.sim.store import CACHE_SCHEMA_VERSION, DiskResultCache, sim_cache_key
@@ -18,6 +19,9 @@ __all__ = [
     "GPUConfig",
     "SimConfig",
     "Engine",
+    "EventProfiler",
+    "ProfileRow",
+    "profile_simulation",
     "Server",
     "SimResult",
     "CACHE_SCHEMA_VERSION",

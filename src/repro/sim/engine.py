@@ -12,6 +12,27 @@ acquire sees it) can declare that order explicitly instead of relying on
 the textual order of ``schedule()`` calls — the fragile implicit contract
 SimRace (:mod:`repro.analysis.simrace`) exists to police.
 
+Hot-path architecture (SimTurbo)
+--------------------------------
+The engine serves two masters: multi-hundred-thousand-event production
+runs that should spend every cycle in model callbacks, and instrumented
+diagnostic runs (sanitizer / watchdog / shadow-shuffle / profiler) that
+trade speed for observability.  The split is resolved **once, at attach
+time**, never per event:
+
+* :meth:`schedule` is the lean fast path — validate, push, bump seq.
+  :meth:`attach_sanitizer` hot-swaps in :meth:`_schedule_checked`, a
+  slow-path wrapper that additionally flags scheduling after the queue
+  drained; detaching (``attach_sanitizer(None)``) restores the fast one.
+* :meth:`run` and :meth:`run_until` both funnel into :meth:`_drain`, the
+  single instrumentation-dispatch point.  It picks exactly one drain
+  loop (shuffle > watchdog > profiler > plain) so ``run_until`` gets the
+  same instrumentation as ``run`` and the event-budget check lives in
+  one place instead of four copy-pasted loops.
+* Every drain loop localizes the heap, ``heappop`` and the event counter
+  and flushes the counter back in a ``finally`` — exceptions (budget,
+  stall) never lose the count.
+
 The engine also implements SimRace's dynamic half: constructing it with a
 ``shuffle_seed`` enables *shadow shuffle* mode, where each batch of events
 sharing one ``(time, priority)`` key has its distinct-handler blocks
@@ -33,6 +54,8 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 _INF = math.inf
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Engine:
@@ -47,6 +70,8 @@ class Engine:
         # SimSanitizer hooks (see repro.analysis.sanitizer): when a ledger
         # is attached, scheduling after the queue drained is flagged as a
         # lifecycle bug instead of silently re-animating the simulation.
+        # The check lives in _schedule_checked, installed over schedule()
+        # by attach_sanitizer so uninstrumented runs never pay for it.
         self._sanitizer = None
         self._drained = False
         # SimRace shadow-shuffle mode (see repro.analysis.simrace): a
@@ -57,16 +82,38 @@ class Engine:
         # one batch -> occurrence count.  Only populated in shuffle mode.
         self.batch_pairs: Dict[Tuple[str, str], int] = {}
         # Stall watchdog (see repro.sim.watchdog): observation-only
-        # progress monitor; run() dispatches to _run_watched when attached.
+        # progress monitor; _drain dispatches to _drain_watched when attached.
         self._watchdog = None
+        # Per-handler event profiler (see repro.sim.profiler).
+        self._profiler = None
 
     def attach_sanitizer(self, ledger) -> None:
-        """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`."""
+        """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`.
+
+        Installs the slow-path :meth:`_schedule_checked` over
+        :meth:`schedule` so the scheduled-after-drain check is only ever
+        evaluated on instrumented runs; passing ``None`` detaches the
+        ledger and restores the branch-free fast path.
+        """
         self._sanitizer = ledger
+        if ledger is not None:
+            self.schedule = self._schedule_checked  # type: ignore[method-assign]
+        else:
+            self.__dict__.pop("schedule", None)
 
     def attach_watchdog(self, watchdog) -> None:
         """Attach a :class:`repro.sim.watchdog.StallWatchdog`."""
         self._watchdog = watchdog
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.sim.profiler.EventProfiler`.
+
+        The profiled drain loop brackets every callback with the
+        profiler's clock and accumulates per-handler counts/self-time.
+        Event order (and therefore every simulation result) is identical
+        to the plain loop.  Pass ``None`` to detach.
+        """
+        self._profiler = profiler
 
     def schedule(
         self,
@@ -95,10 +142,29 @@ class Engine:
                 f"cannot schedule event at {time!r} (now={self.now}): "
                 "event times must be finite and not in the past"
             )
-        if self._sanitizer is not None and self._drained:
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, priority, seq, callback, payload))
+
+    def _schedule_checked(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> None:
+        """Sanitizer slow path for :meth:`schedule` (same contract), plus
+        the scheduled-after-drain lifecycle check."""
+        if not (self.now <= time < _INF):
+            raise ValueError(
+                f"cannot schedule event at {time!r} (now={self.now}): "
+                "event times must be finite and not in the past"
+            )
+        if self._drained:
             self._sanitizer.scheduled_after_drain(time, callback, payload)
-        heapq.heappush(self._heap, (time, priority, self._seq, callback, payload))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, priority, seq, callback, payload))
 
     def schedule_in(
         self,
@@ -116,105 +182,171 @@ class Engine:
 
     def run(self) -> float:
         """Drain the event queue; returns the final simulated time."""
-        if self._shuffle_rng is not None:
-            # Shuffle replays are short diagnostic runs; shuffle wins over
-            # the watchdog when both are configured.
-            return self._run_shuffled()
-        if self._watchdog is not None:
-            return self._run_watched()
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            time, _prio, _seq, callback, payload = pop(heap)
-            self.now = time
-            callback(payload)
-            self.events_processed += 1
-            if self.events_processed > self.max_events:
-                raise RuntimeError(
-                    f"event budget exceeded ({self.max_events}); "
-                    "likely a livelock in the request state machine"
-                )
-        self._drained = True
-        return self.now
+        return self._drain(_INF)
 
     def run_until(self, deadline: float) -> float:
-        """Process events with timestamps <= ``deadline``; returns current time."""
-        heap = self._heap
-        pop = heapq.heappop
-        while heap and heap[0][0] <= deadline:
-            time, _prio, _seq, callback, payload = pop(heap)
-            self.now = time
-            callback(payload)
-            self.events_processed += 1
-            if self.events_processed > self.max_events:
-                raise RuntimeError(f"event budget exceeded ({self.max_events})")
+        """Process events with timestamps <= ``deadline``; returns current time.
+
+        Routed through the same instrumented dispatch as :meth:`run`, so
+        an attached watchdog / shuffle RNG / profiler observes deadline
+        runs too (they used to be silently bypassed).
+        """
+        self._drain(deadline)
         if self.now < deadline:
             self.now = deadline
-        # Keep the drain flag consistent with run(): a deadline loop that
-        # happens to empty the heap IS a full drain, and one that leaves
-        # events behind is not — even if an earlier run() had drained.
-        # Without this, the sanitizer's scheduled-after-drain check
-        # false-positives on legitimate scheduling after a partial drain.
-        self._drained = not heap
         return self.now
 
-    def _run_watched(self) -> float:
+    # --------------------------------------------------------------- drain
+
+    def _drain(self, deadline: float) -> float:
+        """Single instrumentation-dispatch point for all drain loops.
+
+        Exactly one loop runs: shadow shuffle wins over the watchdog
+        (shuffle replays are short diagnostic runs), the watchdog over
+        the profiler, and the branch-free plain loop is the default.
+        The drain flag is maintained in a ``finally`` so every exit path
+        (drain, deadline stop, budget error, stall error) agrees: an
+        empty heap IS a full drain, a non-empty one is not.
+        """
+        try:
+            if self._shuffle_rng is not None:
+                self._drain_shuffled(deadline)
+            elif self._watchdog is not None:
+                self._drain_watched(deadline)
+            elif self._profiler is not None:
+                self._drain_profiled(deadline)
+            else:
+                self._drain_plain(deadline)
+        finally:
+            self._drained = not self._heap
+        return self.now
+
+    def _budget_error(self) -> RuntimeError:
+        """The (single) event-budget failure for every drain loop."""
+        return RuntimeError(
+            f"event budget exceeded ({self.max_events}); "
+            "likely a livelock in the request state machine"
+        )
+
+    def _drain_plain(self, deadline: float) -> None:
+        """Branch-free production loop: pop, advance, call, count."""
+        heap = self._heap
+        pop = _heappop
+        budget = self.max_events
+        n = self.events_processed
+        try:
+            if deadline is _INF:
+                while heap:
+                    time, _prio, _seq, callback, payload = pop(heap)
+                    self.now = time
+                    callback(payload)
+                    n += 1
+                    if n > budget:
+                        raise self._budget_error()
+            else:
+                while heap and heap[0][0] <= deadline:
+                    time, _prio, _seq, callback, payload = pop(heap)
+                    self.now = time
+                    callback(payload)
+                    n += 1
+                    if n > budget:
+                        raise self._budget_error()
+        finally:
+            self.events_processed = n
+
+    def _drain_watched(self, deadline: float) -> None:
         """Drain the queue with the stall watchdog observing every event.
 
-        Identical event order to :meth:`run` — the watchdog only counts
+        Identical event order to the plain loop — the watchdog only counts
         (time advances reset the same-cycle counter; completions reset
         the window via :meth:`~repro.sim.watchdog.StallWatchdog.progress`)
         and raises ``SimStallError`` when a livelock signature appears.
         """
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         watchdog = self._watchdog
-        while heap:
-            time, _prio, _seq, callback, payload = pop(heap)
-            if time > self.now:
-                watchdog.advanced(time)
-            self.now = time
-            callback(payload)
-            self.events_processed += 1
-            watchdog.event(time)
-            if self.events_processed > self.max_events:
-                raise RuntimeError(
-                    f"event budget exceeded ({self.max_events}); "
-                    "likely a livelock in the request state machine"
-                )
-        self._drained = True
-        return self.now
+        budget = self.max_events
+        n = self.events_processed
+        try:
+            while heap and heap[0][0] <= deadline:
+                time, _prio, _seq, callback, payload = pop(heap)
+                if time > self.now:
+                    watchdog.advanced(time)
+                self.now = time
+                callback(payload)
+                n += 1
+                watchdog.event(time)
+                if n > budget:
+                    raise self._budget_error()
+        finally:
+            self.events_processed = n
+
+    def _drain_profiled(self, deadline: float) -> None:
+        """Drain the queue timing every callback with the profiler clock.
+
+        Same event order as the plain loop; only wall-clock bookkeeping
+        is added, so results stay bit-identical to uninstrumented runs.
+        """
+        heap = self._heap
+        pop = _heappop
+        prof = self._profiler
+        counts = prof.counts
+        self_time = prof.self_time
+        clock = prof.clock
+        budget = self.max_events
+        n = self.events_processed
+        t_enter = clock()
+        try:
+            while heap and heap[0][0] <= deadline:
+                time, _prio, _seq, callback, payload = pop(heap)
+                self.now = time
+                key = getattr(callback, "__func__", callback)
+                t0 = clock()
+                callback(payload)
+                dt = clock() - t0
+                if key in counts:
+                    counts[key] += 1
+                    self_time[key] += dt
+                else:
+                    counts[key] = 1
+                    self_time[key] = dt
+                n += 1
+                if n > budget:
+                    raise self._budget_error()
+        finally:
+            prof.wall_time += clock() - t_enter
+            self.events_processed = n
 
     # ------------------------------------------------------- shadow shuffle
 
-    def _run_shuffled(self) -> float:
+    def _drain_shuffled(self, deadline: float) -> None:
         """Drain the queue with same-(time, priority) handler blocks
         deterministically permuted (SimRace dynamic confirmer)."""
         heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            time, prio, _seq, callback, payload = pop(heap)
-            batch: List[Tuple[Callable[[Any], None], Any]] = [(callback, payload)]
-            # Events already queued at exactly this (time, priority) form an
-            # unordered batch: their FIFO order is an accident of call order.
-            # Exact float equality is intended here — only bit-identical
-            # timestamps are simultaneous.
-            while heap and heap[0][0] == time and heap[0][1] == prio:  # simlint: disable=SL103
-                _t, _p, _s, cb, pl = pop(heap)
-                batch.append((cb, pl))
-            if len(batch) > 1:
-                batch = self._permute_batch(batch)
-            self.now = time
-            for cb, pl in batch:
-                cb(pl)
-                self.events_processed += 1
-                if self.events_processed > self.max_events:
-                    raise RuntimeError(
-                        f"event budget exceeded ({self.max_events}); "
-                        "likely a livelock in the request state machine"
-                    )
-        self._drained = True
-        return self.now
+        pop = _heappop
+        budget = self.max_events
+        n = self.events_processed
+        try:
+            while heap and heap[0][0] <= deadline:
+                time, prio, _seq, callback, payload = pop(heap)
+                batch: List[Tuple[Callable[[Any], None], Any]] = [(callback, payload)]
+                # Events already queued at exactly this (time, priority) form an
+                # unordered batch: their FIFO order is an accident of call order.
+                # Exact float equality is intended here — only bit-identical
+                # timestamps are simultaneous.
+                while heap and heap[0][0] == time and heap[0][1] == prio:  # simlint: disable=SL103
+                    _t, _p, _s, cb, pl = pop(heap)
+                    batch.append((cb, pl))
+                if len(batch) > 1:
+                    batch = self._permute_batch(batch)
+                self.now = time
+                for cb, pl in batch:
+                    cb(pl)
+                    n += 1
+                    if n > budget:
+                        raise self._budget_error()
+        finally:
+            self.events_processed = n
 
     def _permute_batch(
         self, batch: List[Tuple[Callable[[Any], None], Any]]

@@ -83,6 +83,21 @@ class Server:
             self.ledger.check_reservation(self.name, start, size, completion)
         return completion
 
+    def reserve_fast(self, now: float, size: float = 1.0) -> float:
+        """Uninstrumented :meth:`reserve`: identical arithmetic (and
+        therefore identical timing results), minus the owner/ledger
+        branches.  Selected once at wiring time by the system's hot-path
+        setup when no sanitizer is attached — never chosen per event.
+        Keep the arithmetic in lockstep with :meth:`reserve`; the
+        fingerprint-identity tests guard the pairing.
+        """
+        start = now if now > self.next_free else self.next_free
+        occupancy = self.service * size
+        self.next_free = start + occupancy
+        self.busy_cycles += occupancy
+        self.num_served += 1
+        return start + occupancy + self.latency
+
     def current_holder(self, now: float):
         """Owner the port is busy serving at ``now`` (None when idle or
         when reservations carried no owner)."""

@@ -15,6 +15,10 @@ from typing import Dict, List, Tuple
 
 from repro.cache.cache import CacheStats
 
+# Wall-clock observability fields: reported on results, never part of a
+# run's identity (fingerprint/serialization/equality).
+_OBSERVABILITY_FIELDS = ("wall_time_s", "events_per_s")
+
 
 @dataclass
 class SimResult:
@@ -63,6 +67,14 @@ class SimResult:
     node_queue_stalls: int = 0
     # Fills dropped by the streaming-bypass filter (0 unless l1_bypass)
     bypassed_fills: int = 0
+
+    # Observability (host wall clock, filled in by GPUSystem.run).  These
+    # are NOT part of the simulation's identity: they vary run to run, so
+    # they are excluded from __eq__, fingerprint() and to_jsonable() —
+    # cache entries written before/after this field existed stay
+    # interchangeable and CACHE_SCHEMA_VERSION is unaffected.
+    wall_time_s: float = field(default=0.0, compare=False)
+    events_per_s: float = field(default=0.0, compare=False)
 
     # -- derived ----------------------------------------------------------
 
@@ -122,6 +134,8 @@ class SimResult:
         data["l1"] = self.l1.to_dict()
         data["l2"] = self.l2.to_dict()
         data["noc_traffic"] = [list(t) for t in self.noc_traffic]
+        for name in _OBSERVABILITY_FIELDS:
+            data.pop(name, None)
         return data
 
     @classmethod
@@ -178,7 +192,10 @@ class SimResult:
             else:
                 flat[prefix] = val
 
-        walk("", asdict(self))
+        data = asdict(self)
+        for name in _OBSERVABILITY_FIELDS:
+            data.pop(name, None)
+        walk("", data)
         return flat
 
     def __str__(self) -> str:

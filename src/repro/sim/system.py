@@ -22,12 +22,36 @@ on it.  Atomics and "non-L1" bypass traffic (instruction/texture/constant
 misses) skip the (DC-)L1 cache and are resolved at the L2/MC — in DC-L1
 designs they still pass *through* the home node (Q1→Q3), so they ride
 NoC#1 and NoC#2 exactly as the paper describes.
+
+Hot-path architecture (SimTurbo, see docs/performance.md)
+---------------------------------------------------------
+The request lifecycle is the simulator's inner loop; every per-event cost
+here multiplies by hundreds of thousands.  ``_wire_hot_path`` resolves
+the fast/slow split once, at build time:
+
+* ``self._fast`` is True iff no sanitizer ledger is attached (the stall
+  watchdog implies the ledger).  Fast runs use pre-bound route closures
+  (:meth:`NoCTopology.make_fast_routes`), per-bank ``reserve_fast`` bound
+  methods, a pre-bound :meth:`HomeMapper.make_fast_home_of` closure and a
+  ``MemoryRequest`` free list; instrumented runs keep the original
+  owner/ledger-attributed calls.  Both share one callable signature per
+  hop, so the handlers have a single code path per event kind.
+* ``_wf_issue`` splits into a lean LOAD fast path (the dominant kind)
+  and a cold path for STORE/ATOMIC/BYPASS/ledger runs.
+* Result counters are batched into plain integer attributes and flushed
+  once, in ``_collect`` — nothing reads them mid-run (the live audit
+  inspects structural state only).
+
+Every specialization preserves arithmetic exactly; the fingerprint
+identity of fast vs. instrumented runs is enforced by
+``tests/test_simturbo.py``.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
+from time import perf_counter
 from typing import List, Optional, Union
 
 from repro.analysis.sanitizer import sanitize_from_env
@@ -51,6 +75,14 @@ from repro.sim.results import SimResult
 from repro.sim.watchdog import StallWatchdog, build_wait_graph, watchdog_from_env
 from repro.workloads.generator import Workload, generate_workload
 from repro.workloads.profile import AppProfile
+
+# Access kinds as plain ints: streams already deliver ints (see
+# Wavefront.next_access) and IntEnum comparisons cost an extra call on
+# the hottest lines in the simulator.
+_LOAD = int(AccessKind.LOAD)
+_STORE = int(AccessKind.STORE)
+_ATOMIC = int(AccessKind.ATOMIC)
+_BYPASS = int(AccessKind.BYPASS)
 
 
 class GPUSystem:
@@ -128,6 +160,59 @@ class GPUSystem:
         self._watchdog = None
         if self.cfg.watchdog or watchdog_from_env():
             self._attach_watchdog()
+
+        # Resolve the fast/slow hot-path split — must run last: it
+        # captures the post-attach engine.schedule and keys everything
+        # on whether a ledger ended up attached.
+        self._wire_hot_path()
+
+    def _wire_hot_path(self) -> None:
+        """Bind the per-event hot path once (see the module docstring).
+
+        Fast pre-bound callables keep the *same signatures* as the plain
+        methods they replace, so every handler has exactly one code shape;
+        which implementation runs was decided here, not per event.
+        """
+        self._fast = self._ledger is None
+        # Captures the sanitizer-checked wrapper when a ledger swapped it
+        # in.  Named ``schedule`` (not ``_schedule``) on purpose: the
+        # static analyzers (SimFlow/SimRace/SimLint) recognize scheduling
+        # by attribute name, and the prebound hop must stay visible to
+        # their handler-reachability closures.
+        self.schedule = self.engine.schedule
+        amap = self.amap
+        self._line_bits = amap.line_bits
+        self._num_l2_slices = amap.num_l2_slices
+        self._slices_per_chan = amap.num_l2_slices // amap.num_channels
+        self._request_bytes = self.workload.profile.request_bytes
+        self._home_of = self.home.make_fast_home_of() if self.decoupled else None
+        if self._fast:
+            routes = self.topo.make_fast_routes()
+            self._rt_core_to_dcl1, self._rt_dcl1_to_core = routes[0], routes[1]
+            self._rt_to_l2, self._rt_from_l2 = routes[2], routes[3]
+            self._l1_reserve = [b.reserve_fast for b in self.l1_banks]
+            self._l2_reserve = [b.reserve_fast for b in self.l2_banks]
+        else:
+            self._rt_core_to_dcl1 = self.topo.core_to_dcl1
+            self._rt_dcl1_to_core = self.topo.dcl1_to_core
+            self._rt_to_l2 = self.topo.to_l2
+            self._rt_from_l2 = self.topo.from_l2
+            self._l1_reserve = None
+            self._l2_reserve = None
+        # MemoryRequest free list — only recycled on uninstrumented runs
+        # (the ledger keys live holds and hop traces by id(request)).
+        self._req_pool: List[MemoryRequest] = []
+        # Result counters, batched into locals and flushed in _collect().
+        self._n_loads = 0
+        self._n_stores = 0
+        self._n_atomics = 0
+        self._n_bypasses = 0
+        self._n_dram_accesses = 0
+        self._n_dram_writebacks = 0
+        self._n_node_queue_stalls = 0
+        self._n_bypassed_fills = 0
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
 
     def _attach_watchdog(self) -> None:
         if self._ledger is None:
@@ -290,7 +375,11 @@ class GPUSystem:
                     wf.bind(stream)
                     core.active_wavefronts += 1
                     self.engine.schedule(0.0, self._wf_issue, wf)
+        # Wall-clock observability only — never part of the result's
+        # fingerprint (see repro.sim.results._OBSERVABILITY_FIELDS).
+        t0 = perf_counter()  # simlint: disable=SL101
         self.engine.run()
+        wall = perf_counter() - t0  # simlint: disable=SL101
         if self._watchdog is not None and self.outstanding != 0:
             # Checked before the ledger's drain assertion: a wedged drain
             # should surface as a wait-graph-carrying SimStallError (who
@@ -306,6 +395,10 @@ class GPUSystem:
                 f"simulation drained with {self.outstanding} requests outstanding"
             )
         self._collect()
+        self.result.wall_time_s = wall
+        self.result.events_per_s = (
+            self.engine.events_processed / wall if wall > 0 else 0.0
+        )
         return self.result
 
     # -------------------------------------------------------- wavefront side
@@ -314,7 +407,7 @@ class GPUSystem:
         """Arrange for ``wf`` to attempt its next issue at ``t`` (idempotent)."""
         if not wf.issue_pending:
             wf.issue_pending = True
-            self.engine.schedule(t, self._wf_issue, wf)
+            self.schedule(t, self._wf_issue, wf)
 
     def _wf_issue(self, wf: Wavefront) -> None:
         wf.issue_pending = False
@@ -327,35 +420,88 @@ class GPUSystem:
         line, kind = access
         core = self.cores[wf.core_id]
         core.count_access(wf.compute_gap)
-        req = MemoryRequest(
-            self.amap.addr_of_line(line), kind, self.workload.profile.request_bytes,
-            wf.core_id,
-        )
-        req.line = line
-        req.l2_id = self.amap.l2_slice_of_line(line)
-        req.mc_id = self.amap.channel_of_slice(req.l2_id)
-        req.wavefront = wf
         # The core's single issue pipeline carries the memory instruction
         # plus this wavefront's trailing ALU instructions, so one memory
         # access occupies it for 1 + compute_gap cycles — this is what
         # bounds per-core L1 demand the way a real SIMT front-end does.
-        t = core.issue_port.reserve(self.engine.now, 1.0 + wf.compute_gap)
+        # (The issue port never carries a ledger or an owner, so the fast
+        # reservation is always equivalent.)
+        t = core.issue_port.reserve_fast(self.engine.now, 1.0 + wf.compute_gap)
+        if kind == _LOAD and self._fast:
+            self._issue_load_fast(wf, line, t)
+        else:
+            self._issue_cold(wf, line, kind, t)
+
+    def _issue_load_fast(self, wf: Wavefront, line: int, t: float) -> None:
+        """Lean LOAD issue path (uninstrumented runs; the dominant kind).
+
+        Same schedule-call order as :meth:`_issue_cold` — the MLP-headroom
+        re-issue is enqueued *before* the route hop, so same-cycle FIFO
+        ties break identically in both paths.
+        """
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.l1_hit = False
+            req.l2_hit = False
+            req.merged = False
+        else:
+            req = MemoryRequest(0, _LOAD, self._request_bytes, 0)
+        req.addr = line << self._line_bits
+        req.kind = _LOAD
+        req.core_id = wf.core_id
+        req.wavefront = wf
+        req.issue_time = t
+        req.line = line
+        l2 = line % self._num_l2_slices
+        req.l2_id = l2
+        req.mc_id = l2 // self._slices_per_chan
+        self.outstanding += 1
+        self._n_loads += 1
+        wf.outstanding += 1
+        if wf.outstanding < wf.mlp:
+            self._schedule_issue(wf, t)
+        if self.decoupled:
+            home = self._home_of(wf.core_id, line)
+            req.dcl1_id = home
+            if self._node_credits is None:
+                self.schedule(
+                    self._rt_core_to_dcl1(t, wf.core_id, home, 1), self._l1_access, req
+                )
+            else:
+                self._enter_node(req, t)
+        else:
+            self.schedule(t, self._l1_access, req)
+
+    def _issue_cold(self, wf: Wavefront, line: int, kind: int, t: float) -> None:
+        """Issue path for STORE/ATOMIC/BYPASS and every instrumented run."""
+        if self._fast and self._req_pool:
+            req = self._req_pool.pop().reinit(
+                line << self._line_bits, kind, self._request_bytes, wf.core_id
+            )
+        else:
+            req = MemoryRequest(line << self._line_bits, kind, self._request_bytes, wf.core_id)
+        req.line = line
+        l2 = line % self._num_l2_slices
+        req.l2_id = l2
+        req.mc_id = l2 // self._slices_per_chan
+        req.wavefront = wf
         req.issue_time = t
         self.outstanding += 1
         if self._ledger is not None:
             # The ledger keeps a reference to req, so the id() key cannot
             # be recycled while the hold is live.
             self._ledger.acquire("request", id(req), req)
-        if kind == AccessKind.LOAD:
-            self.result.loads += 1
-        elif kind == AccessKind.STORE:
-            self.result.stores += 1
-        elif kind == AccessKind.ATOMIC:
-            self.result.atomics += 1
+        if kind == _LOAD:
+            self._n_loads += 1
+        elif kind == _STORE:
+            self._n_stores += 1
+        elif kind == _ATOMIC:
+            self._n_atomics += 1
         else:
-            self.result.bypasses += 1
+            self._n_bypasses += 1
 
-        if kind != AccessKind.STORE:
+        if kind != _STORE:
             wf.outstanding += 1
         # Keep issuing while the wavefront has MLP headroom (stores never
         # block, so they always leave headroom).
@@ -363,14 +509,14 @@ class GPUSystem:
             self._schedule_issue(wf, t)
 
         if self.decoupled:
-            req.dcl1_id = self.home.home_of(wf.core_id, line)
+            req.dcl1_id = self._home_of(wf.core_id, line)
             self._enter_node(req, t)
         else:
-            if kind in (AccessKind.ATOMIC, AccessKind.BYPASS):
-                t2 = self.topo.to_l2(t, wf.core_id, req.l2_id, 1)
-                self.engine.schedule(t2, self._at_l2, req)
+            if kind == _ATOMIC or kind == _BYPASS:
+                t2 = self._rt_to_l2(t, wf.core_id, l2, 1)
+                self.schedule(t2, self._at_l2, req)
             else:
-                self.engine.schedule(t, self._l1_access, req)
+                self.schedule(t, self._l1_access, req)
 
     def _wf_refill(self, wf: Wavefront) -> None:
         core = self.cores[wf.core_id]
@@ -400,24 +546,26 @@ class GPUSystem:
             self._dispatch_to_node(req, t)
         else:
             self._node_waiters[n].append(req)
-            self.result.node_queue_stalls += 1
-            self._note(req, f"parked waiting for a dcl1-q1[{n}] credit")
+            self._n_node_queue_stalls += 1
+            if self._ledger is not None:
+                self._note(req, f"parked waiting for a dcl1-q1[{n}] credit")
 
     def _dispatch_to_node(self, req: MemoryRequest, t: float) -> None:
-        flits = self._req_flits if req.kind == AccessKind.STORE else 1
-        t1 = self.topo.core_to_dcl1(t, req.core_id, req.dcl1_id, flits)
-        if req.kind in (AccessKind.ATOMIC, AccessKind.BYPASS):
+        flits = self._req_flits if req.kind == _STORE else 1
+        t1 = self._rt_core_to_dcl1(t, req.core_id, req.dcl1_id, flits)
+        kind = req.kind
+        if kind == _ATOMIC or kind == _BYPASS:
             # Q1 -> Q3 pass-through: no DC-L1$ access; the Q1 slot frees as
             # soon as the request moves on toward L2.
-            t2 = self.topo.to_l2(t1, req.dcl1_id, req.l2_id, 1)
-            self.engine.schedule(t2, self._at_l2, req)
+            t2 = self._rt_to_l2(t1, req.dcl1_id, req.l2_id, 1)
+            self.schedule(t2, self._at_l2, req)
             if self._node_credits is not None:
                 # Release-before-acquire: a Q1 credit freed at t1 must be
                 # visible to any _l1_access arriving at the same cycle, so
                 # the order is declared with a priority, not call order.
-                self.engine.schedule(t1, self._release_node, req, priority=-1)
+                self.schedule(t1, self._release_node, req, priority=-1)
         else:
-            self.engine.schedule(t1, self._l1_access, req)
+            self.schedule(t1, self._l1_access, req)
 
     def _release_node(self, req: MemoryRequest) -> None:
         """Free the Q1 slot held by ``req``; admit the oldest waiter if any
@@ -442,24 +590,33 @@ class GPUSystem:
         return req.dcl1_id if self.decoupled else req.core_id
 
     def _l1_access(self, req: MemoryRequest) -> None:
-        idx = self._l1_index(req)
-        self._note(req, f"L1[{idx}] bank access")
-        t = self.l1_banks[idx].reserve(self.engine.now, owner=req)
+        idx = req.dcl1_id if self.decoupled else req.core_id
+        now = self.engine.now
+        if self._fast:
+            t = self._l1_reserve[idx](now)
+        else:
+            self._note(req, f"L1[{idx}] bank access")
+            t = self.l1_banks[idx].reserve(now, owner=req)
         if self._node_credits is not None:
             # The request leaves Q1 once the (pipelined) bank accepts it —
             # occupancy, not access latency, holds the queue slot.  The
             # priority declares release-before-acquire against same-cycle
             # _l1_access arrivals (see _dispatch_to_node).
-            free_at = max(self.engine.now, t - self.l1_banks[idx].latency)
-            self.engine.schedule(free_at, self._release_node, req, priority=-1)
+            free_at = max(now, t - self.l1_banks[idx].latency)
+            self.schedule(free_at, self._release_node, req, priority=-1)
         cache = self.l1_caches[idx]
         filters = self.l1_filters
-        if req.kind == AccessKind.LOAD:
+        if req.kind == _LOAD:
             if cache.access_load(req.line):
                 req.l1_hit = True
                 if filters is not None:
                     filters[idx].on_hit(req.line)
-                self._l1_reply(req, t)
+                # _l1_reply, inlined for the (dominant) hit case.
+                if self.decoupled:
+                    t = self._rt_dcl1_to_core(
+                        t, idx, req.core_id, self._noc1_reply_flits
+                    )
+                self.schedule(t, self._complete, req)
             else:
                 self._l1_miss(req, t, idx)
         else:  # STORE: write-evict + no-write-allocate, always to L2
@@ -469,16 +626,17 @@ class GPUSystem:
                 filters[idx].on_evict(req.line)
             flits = self._req_flits + (self._line_flits if hit else 0)
             src = idx if self.decoupled else req.core_id
-            t2 = self.topo.to_l2(t, src, req.l2_id, flits)
-            self.engine.schedule(t2, self._at_l2, req)
+            t2 = self._rt_to_l2(t, src, req.l2_id, flits)
+            self.schedule(t2, self._at_l2, req)
 
     def _l1_miss(self, req: MemoryRequest, t: float, idx: int) -> None:
         outcome = self.l1_mshrs[idx].allocate(req.line, req)
-        self._note(req, f"L1[{idx}] miss ({outcome})")
+        if self._ledger is not None:
+            self._note(req, f"L1[{idx}] miss ({outcome})")
         if outcome == "new":
             src = idx if self.decoupled else req.core_id
-            t2 = self.topo.to_l2(t, src, req.l2_id, 1)
-            self.engine.schedule(t2, self._at_l2, req)
+            t2 = self._rt_to_l2(t, src, req.l2_id, 1)
+            self.schedule(t2, self._at_l2, req)
         elif outcome == "merged":
             req.merged = True
         # "stalled": the request sits in the MSHR's stall queue and is
@@ -487,8 +645,8 @@ class GPUSystem:
     def _l1_reply(self, req: MemoryRequest, t: float) -> None:
         """Deliver a load's data to its core (NoC#1 hop when decoupled)."""
         if self.decoupled:
-            t = self.topo.dcl1_to_core(t, req.dcl1_id, req.core_id, self._noc1_reply_flits)
-        self.engine.schedule(t, self._complete, req)
+            t = self._rt_dcl1_to_core(t, req.dcl1_id, req.core_id, self._noc1_reply_flits)
+        self.schedule(t, self._complete, req)
 
     def _l1_fill(self, req: MemoryRequest) -> None:
         """A load fill arrived back at the L1 level (Q4): install, wake the
@@ -504,7 +662,7 @@ class GPUSystem:
                 if victim is not None:
                     fil.on_evict(victim)
             else:
-                self.result.bypassed_fills += 1
+                self._n_bypassed_fills += 1
         else:
             cache.install(req.line)
         mshr = self.l1_mshrs[idx]
@@ -523,7 +681,10 @@ class GPUSystem:
         cache = self.l1_caches[idx]
         while mshr.has_stalled() and not mshr.full:
             retry = mshr.pop_stalled()
-            t = self.l1_banks[idx].reserve(now, owner=retry)
+            if self._fast:
+                t = self._l1_reserve[idx](now)
+            else:
+                t = self.l1_banks[idx].reserve(now, owner=retry)
             if cache.access_load(retry.line):
                 retry.l1_hit = True
                 if self.l1_filters is not None:
@@ -533,8 +694,8 @@ class GPUSystem:
             outcome = mshr.allocate(retry.line, retry)
             if outcome == "new":
                 src = idx if self.decoupled else retry.core_id
-                t2 = self.topo.to_l2(t, src, retry.l2_id, 1)
-                self.engine.schedule(t2, self._at_l2, retry)
+                t2 = self._rt_to_l2(t, src, retry.l2_id, 1)
+                self.schedule(t2, self._at_l2, retry)
             elif outcome == "stalled":
                 break
 
@@ -543,35 +704,42 @@ class GPUSystem:
     def _charge_writebacks(self, s: int, t: float) -> None:
         """Charge DRAM bandwidth for dirty L2 victims (fire-and-forget)."""
         slice_ = self.l2_slices[s]
-        channel = self.mcs[self.amap.channel_of_slice(s)]
+        channel = self.mcs[s // self._slices_per_chan]
         for victim in slice_.drain_writebacks():
             channel.access(t, victim)
-            self.result.dram_writebacks += 1
+            self._n_dram_writebacks += 1
 
     def _at_l2(self, req: MemoryRequest) -> None:
         s = req.l2_id
         slice_ = self.l2_slices[s]
-        self._note(req, f"at L2 slice {s}")
-        if req.kind == AccessKind.STORE:
-            t = self.l2_banks[s].reserve(self.engine.now, owner=req)
+        now = self.engine.now
+        fast = self._fast
+        if not fast:
+            self._note(req, f"at L2 slice {s}")
+        kind = req.kind
+        if kind == _STORE:
+            t = self._l2_reserve[s](now) if fast else self.l2_banks[s].reserve(now, owner=req)
             slice_.access_store(req.line)
             self._charge_writebacks(s, t)
             self._reply_from_l2(req, t)
-        elif req.kind == AccessKind.ATOMIC:
+        elif kind == _ATOMIC:
             # Read-modify-write at the L2/MC: double bank occupancy, DRAM
             # fill on miss, no MSHR merging (atomics serialize).
-            t = self.l2_banks[s].reserve(self.engine.now, 2.0, owner=req)
+            if fast:
+                t = self._l2_reserve[s](now, 2.0)
+            else:
+                t = self.l2_banks[s].reserve(now, 2.0, owner=req)
             if slice_.access_load(req.line):
                 req.l2_hit = True
                 self._reply_from_l2(req, t)
             else:
                 t2 = self.mcs[req.mc_id].access(t, req.line, owner=req)
-                self.result.dram_accesses += 1
+                self._n_dram_accesses += 1
                 slice_.install(req.line)
                 self._charge_writebacks(s, t)
                 self._reply_from_l2(req, t2)
         else:  # LOAD or BYPASS fill
-            t = self.l2_banks[s].reserve(self.engine.now, owner=req)
+            t = self._l2_reserve[s](now) if fast else self.l2_banks[s].reserve(now, owner=req)
             if slice_.access_load(req.line):
                 req.l2_hit = True
                 self._reply_from_l2(req, t)
@@ -579,11 +747,11 @@ class GPUSystem:
                 outcome = slice_.mshr.allocate(req.line, req)
                 if outcome == "new":
                     t2 = self.mcs[req.mc_id].access(t, req.line, owner=req)
-                    self.result.dram_accesses += 1
+                    self._n_dram_accesses += 1
                     # Fill-before-access: a DRAM fill landing at the same
                     # cycle as a demand access to its L2 slice installs
                     # first (see the SimRace note in DESIGN/docs).
-                    self.engine.schedule(t2, self._dram_fill, req, priority=-1)
+                    self.schedule(t2, self._dram_fill, req, priority=-1)
                 elif outcome == "merged":
                     req.merged = True
 
@@ -603,7 +771,10 @@ class GPUSystem:
         mshr = slice_.mshr
         while mshr.has_stalled() and not mshr.full:
             retry = mshr.pop_stalled()
-            t = self.l2_banks[s].reserve(now, owner=retry)
+            if self._fast:
+                t = self._l2_reserve[s](now)
+            else:
+                t = self.l2_banks[s].reserve(now, owner=retry)
             if slice_.access_load(retry.line):
                 retry.l2_hit = True
                 self._reply_from_l2(retry, t)
@@ -611,36 +782,37 @@ class GPUSystem:
             outcome = mshr.allocate(retry.line, retry)
             if outcome == "new":
                 t2 = self.mcs[retry.mc_id].access(t, retry.line, owner=retry)
-                self.result.dram_accesses += 1
-                self.engine.schedule(t2, self._dram_fill, retry, priority=-1)
+                self._n_dram_accesses += 1
+                self.schedule(t2, self._dram_fill, retry, priority=-1)
             elif outcome == "stalled":
                 break
 
     def _reply_from_l2(self, req: MemoryRequest, t: float) -> None:
         """Route an L2 reply (fill / ACK / atomic result) back up."""
-        self._note(req, f"reply from L2 slice {req.l2_id}")
+        if self._ledger is not None:
+            self._note(req, f"reply from L2 slice {req.l2_id}")
         kind = req.kind
-        if kind in (AccessKind.LOAD, AccessKind.BYPASS):
+        if kind == _LOAD or kind == _BYPASS:
             flits = self._line_flits  # fills carry the whole line
         else:
             flits = 1  # store ACK / atomic result
         dst = req.dcl1_id if self.decoupled else req.core_id
-        t2 = self.topo.from_l2(t, req.l2_id, dst, flits)
-        if kind == AccessKind.LOAD:
+        t2 = self._rt_from_l2(t, req.l2_id, dst, flits)
+        if kind == _LOAD:
             # Fill-before-access: a Q4 fill landing at the same cycle as a
             # demand access to its L1 node installs (and replays stalled
             # MSHR requests) first, so the same-cycle outcome is a policy,
             # not an accident of schedule() call order.
-            self.engine.schedule(t2, self._l1_fill, req, priority=-1)
+            self.schedule(t2, self._l1_fill, req, priority=-1)
         else:
             if self.decoupled:
                 # ACK / atomic / bypass replies ride NoC#1 back to the core
                 # (Q4 -> Q2 pass-through for non-L1 traffic).
-                up_flits = self._line_flits if kind == AccessKind.BYPASS else 1
-                t3 = self.topo.dcl1_to_core(t2, req.dcl1_id, req.core_id, up_flits)
-                self.engine.schedule(t3, self._complete, req)
+                up_flits = self._line_flits if kind == _BYPASS else 1
+                t3 = self._rt_dcl1_to_core(t2, req.dcl1_id, req.core_id, up_flits)
+                self.schedule(t3, self._complete, req)
             else:
-                self.engine.schedule(t2, self._complete, req)
+                self.schedule(t2, self._complete, req)
 
     # ------------------------------------------------------------- completion
 
@@ -653,6 +825,25 @@ class GPUSystem:
     def _complete(self, req: MemoryRequest) -> None:
         now = self.engine.now
         self.outstanding -= 1
+        kind = req.kind
+        if self._fast:
+            # Lean path: the request is dead after this handler, so it
+            # goes back on the free list (recycling is safe here and only
+            # here — no ledger holds id(req), and the last event carrying
+            # it as a payload is this one).
+            if kind == _LOAD:
+                self._rtt_sum += now - req.issue_time
+                self._rtt_count += 1
+                wf = req.wavefront
+                wf.outstanding -= 1
+                self._schedule_issue(wf, now)
+            elif kind != _STORE:
+                wf = req.wavefront
+                wf.outstanding -= 1
+                self._schedule_issue(wf, now)
+            req.wavefront = None
+            self._req_pool.append(req)
+            return
         if self._watchdog is not None:
             self._watchdog.progress(now)
         if self._ledger is not None:
@@ -660,10 +851,10 @@ class GPUSystem:
             self._sanitized_completions += 1
             if self._sanitized_completions % 4096 == 0:
                 self._live_audit()
-        if req.kind == AccessKind.LOAD:
-            self.result.load_rtt_sum += now - req.issue_time
-            self.result.load_rtt_count += 1
-        if req.kind != AccessKind.STORE:
+        if kind == _LOAD:
+            self._rtt_sum += now - req.issue_time
+            self._rtt_count += 1
+        if kind != _STORE:
             wf = req.wavefront
             wf.outstanding -= 1
             self._schedule_issue(wf, now)
@@ -691,6 +882,20 @@ class GPUSystem:
         cycles = self.engine.now
         res.cycles = cycles
         res.instructions = sum(c.instructions for c in self.cores)
+
+        # Flush the batched hot-path counters (accumulated in the same
+        # order the original per-event increments ran, so the float RTT
+        # sum is bit-identical).
+        res.loads = self._n_loads
+        res.stores = self._n_stores
+        res.atomics = self._n_atomics
+        res.bypasses = self._n_bypasses
+        res.dram_accesses = self._n_dram_accesses
+        res.dram_writebacks = self._n_dram_writebacks
+        res.node_queue_stalls = self._n_node_queue_stalls
+        res.bypassed_fills = self._n_bypassed_fills
+        res.load_rtt_sum = self._rtt_sum
+        res.load_rtt_count = self._rtt_count
 
         for cache in self.l1_caches:
             res.l1.merge(cache.stats)

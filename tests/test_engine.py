@@ -197,3 +197,113 @@ def test_shuffle_counts_batches_and_pairs():
     eng.run()
     assert eng.shuffled_batches == 1
     assert sum(eng.batch_pairs.values()) == 1
+
+
+# ------------------------------------------------ run_until instrumentation
+
+class _CountingWatchdog:
+    """Minimal watchdog double: records every engine callback."""
+
+    def __init__(self):
+        self.events = 0
+        self.advances = 0
+
+    def advanced(self, time):
+        self.advances += 1
+
+    def event(self, time):
+        self.events += 1
+
+
+def test_run_until_feeds_the_watchdog():
+    """Deadline-bounded drains must route through the watchdog loop;
+    run_until used to silently bypass every instrumentation layer."""
+    wd = _CountingWatchdog()
+    eng = Engine()
+    eng.attach_watchdog(wd)
+    for t in (1.0, 2.0, 3.0, 4.0):
+        eng.schedule(t, lambda _: None, None)
+    eng.run_until(2.5)
+    assert wd.events == 2
+    assert wd.advances == 2
+    eng.run()
+    assert wd.events == 4
+
+
+def test_run_until_feeds_the_profiler():
+    from repro.sim.profiler import EventProfiler
+
+    prof = EventProfiler()
+    eng = Engine()
+    eng.attach_profiler(prof)
+    for t in (1.0, 2.0, 3.0):
+        eng.schedule(t, lambda _: None, None)
+    eng.run_until(2.5)
+    assert prof.total_events == 2
+    eng.run()
+    assert prof.total_events == 3
+
+
+def test_run_until_feeds_the_shuffle_rng():
+    eng = Engine(shuffle_seed=7)
+    a = []
+    b = []
+    eng.schedule(1.0, a.append, 1)
+    eng.schedule(1.0, b.append, 1)
+    eng.run_until(2.0)
+    assert eng.shuffled_batches == 1
+    assert len(eng.batch_pairs) == 1
+
+
+@pytest.mark.parametrize(
+    "instrument", ["plain", "watchdog", "profiler", "shuffle"]
+)
+def test_event_budget_is_enforced_in_every_drain_loop(instrument):
+    """One budget check, one message, all four loops (including under a
+    deadline — run_until used to carry its own diverging copy)."""
+    eng = Engine(
+        max_events=50, shuffle_seed=3 if instrument == "shuffle" else None
+    )
+    if instrument == "watchdog":
+        eng.attach_watchdog(_CountingWatchdog())
+    elif instrument == "profiler":
+        from repro.sim.profiler import EventProfiler
+
+        eng.attach_profiler(EventProfiler())
+
+    def forever(_):
+        eng.schedule_in(1.0, forever, None)
+
+    eng.schedule(0.0, forever, None)
+    with pytest.raises(RuntimeError, match="event budget"):
+        eng.run_until(1e9)
+    assert eng.events_processed == 51  # counter survives the raise
+
+
+def test_instrumented_drains_preserve_event_order():
+    """Watchdog and profiler loops must not change dispatch order."""
+
+    def trace(make_engine):
+        order = []
+        eng = make_engine()
+        eng.schedule(2.0, order.append, "b")
+        eng.schedule(1.0, order.append, "a")
+        eng.schedule(2.0, order.append, "c", priority=-1)
+        eng.run()
+        return order
+
+    def watched():
+        eng = Engine()
+        eng.attach_watchdog(_CountingWatchdog())
+        return eng
+
+    def profiled():
+        from repro.sim.profiler import EventProfiler
+
+        eng = Engine()
+        eng.attach_profiler(EventProfiler())
+        return eng
+
+    plain = trace(Engine)
+    assert trace(watched) == plain
+    assert trace(profiled) == plain

@@ -1,0 +1,83 @@
+"""Unit tests for the per-handler event profiler (SimTurbo observability)."""
+
+from repro.sim.engine import Engine
+from repro.sim.profiler import EventProfiler
+
+
+class _FakeClock:
+    """Deterministic clock: each reading advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def _run_profiled(prof: EventProfiler) -> None:
+    eng = Engine()
+    eng.attach_profiler(prof)
+
+    def fast(_):
+        pass
+
+    def slow(_):
+        pass
+
+    for t in (1.0, 2.0, 3.0):
+        eng.schedule(t, fast, None)
+    eng.schedule(4.0, slow, None)
+    eng.run()
+
+
+def test_counts_and_self_time_per_handler():
+    prof = EventProfiler(clock=_FakeClock(step=0.5))
+    _run_profiled(prof)
+    assert prof.total_events == 4
+    by_name = {r.handler: r for r in prof.rows()}
+    fast_row = next(r for name, r in by_name.items() if "fast" in name)
+    slow_row = next(r for name, r in by_name.items() if "slow" in name)
+    assert fast_row.events == 3
+    assert slow_row.events == 1
+    # Every callback is bracketed by two clock readings of the fake
+    # clock, so self-time is exactly one step per event.
+    assert fast_row.self_s == 1.5
+    assert slow_row.self_s == 0.5
+    assert prof.total_self_time == 2.0
+    assert fast_row.pct == 75.0
+
+
+def test_rows_sorted_by_self_time_and_percentages_sum():
+    prof = EventProfiler(clock=_FakeClock())
+    _run_profiled(prof)
+    rows = prof.rows()
+    assert [r.self_s for r in rows] == sorted(
+        (r.self_s for r in rows), reverse=True
+    )
+    assert abs(sum(r.pct for r in rows) - 100.0) < 1e-9
+
+
+def test_events_per_s_uses_drain_wall_time():
+    prof = EventProfiler(clock=_FakeClock(step=2.0))
+    assert prof.events_per_s() == 0.0  # before any run
+    _run_profiled(prof)
+    assert prof.wall_time > 0.0
+    assert prof.events_per_s() == prof.total_events / prof.wall_time
+
+
+def test_render_contains_table_and_footer():
+    prof = EventProfiler(clock=_FakeClock())
+    _run_profiled(prof)
+    text = prof.render()
+    assert "handler" in text and "events/s" in text
+    assert "total" in text
+    # top=1 limits the per-handler rows but keeps the totals.
+    top = prof.render(top=1)
+    assert len(top.splitlines()) < len(text.splitlines())
+
+
+def test_render_empty_profile_does_not_crash():
+    text = EventProfiler().render()
+    assert "handler" in text

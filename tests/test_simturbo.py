@@ -1,0 +1,230 @@
+"""SimTurbo regression suite: the hot-path overhaul must be invisible.
+
+Three layers of protection:
+
+1. **Golden seed fingerprints** — SHA-256 hashes of
+   :meth:`~repro.sim.results.SimResult.fingerprint` captured on the
+   pre-SimTurbo tree (request pooling, prebound routes, batched counters
+   and the fast drain loop did not exist yet).  Today's pooled fast path
+   must reproduce them bit-exactly.
+2. **Cross-instrumentation identity** — one real Figure-8 grid point run
+   plain / sanitized / watchdog / shadow-shuffled / profiled must yield
+   one fingerprint: instrumentation observes, it never steers.
+3. **Fast/slow component equivalence** — ``reserve_fast`` /
+   ``traverse_fast`` / ``make_fast_routes`` / ``make_fast_home_of``
+   replicate their instrumented counterparts' float arithmetic exactly,
+   not approximately.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.designs import DesignSpec
+from repro.sim.config import SimConfig
+from repro.sim.profiler import profile_simulation
+from repro.sim.system import GPUSystem, simulate
+from repro.workloads.suite import get_app
+
+# SHA-256 of the canonical JSON fingerprint, captured on the seed tree
+# (commit 23318a7, before the SimTurbo hot path existed).
+GOLDEN = {
+    ("T-AlexNet", "Baseline", 0.1):
+        "346bb653f9389aa92f7a951cf0e5938258b6820ea0e9f7fa0e67dcd729afd147",
+    ("T-AlexNet", "Sh40", 0.1):
+        "c524fbec40fb167d91ffab96c349817b5834234fa8c862c1caaa802186b757a6",
+    ("P-2MM", "Sh40", 0.1):
+        "cf3e4827658dcd9bfd1244a073b898170d9e2b3d91ad4b35ac9f97279204e794",
+    ("P-2MM", "Sh40+C10+Boost", 0.1):
+        "41fd6bac713880cf23a42798c89f33ca9c4993d2b7ed7949b0db33c75cbf727a",
+    ("C-NN", "Pr40", 0.1):
+        "3d7420f339d77165d82b1d6bfd1e37a47a83d9921a589796dfa392d6cd8538e4",
+}
+
+DESIGNS = {
+    "Baseline": DesignSpec.baseline(),
+    "Sh40": DesignSpec.shared(40),
+    "Pr40": DesignSpec.private(40),
+    "Sh40+C10+Boost": DesignSpec.clustered(40, 10, boost=2.0),
+}
+
+
+def fingerprint_hash(res) -> str:
+    blob = json.dumps(res.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ------------------------------------------------- golden seed fingerprints
+
+
+@pytest.mark.parametrize("app,design,scale", sorted(GOLDEN))
+def test_pooled_fast_path_matches_seed_fingerprints(app, design, scale):
+    res = simulate(get_app(app), DESIGNS[design], SimConfig(scale=scale))
+    assert fingerprint_hash(res) == GOLDEN[(app, design, scale)]
+
+
+# --------------------------------------------- cross-instrumentation identity
+
+
+def _fig08_point(**cfg_kwargs):
+    cfg = SimConfig(scale=0.1, **cfg_kwargs)
+    return simulate(get_app("T-AlexNet"), DesignSpec.shared(40), cfg)
+
+
+def test_instrumented_runs_are_bit_identical():
+    """Sanitizer, watchdog and shadow shuffle all take the slow path —
+    different allocation pattern, different schedule wrapper, no request
+    pooling — yet the simulation they observe is the same simulation."""
+    want = GOLDEN[("T-AlexNet", "Sh40", 0.1)]
+    assert fingerprint_hash(_fig08_point()) == want
+    assert fingerprint_hash(_fig08_point(sanitize=True)) == want
+    assert fingerprint_hash(_fig08_point(watchdog=True)) == want
+    assert fingerprint_hash(_fig08_point(race_check=True)) == want
+
+
+def test_profiled_run_is_bit_identical_and_observes_everything():
+    res, prof = profile_simulation(
+        get_app("T-AlexNet"), DesignSpec.shared(40), SimConfig(scale=0.1)
+    )
+    assert fingerprint_hash(res) == GOLDEN[("T-AlexNet", "Sh40", 0.1)]
+    # The profiler saw every drained event, attributed to real handlers.
+    assert prof.total_events > 0
+    names = {row.handler for row in prof.rows()}
+    assert "GPUSystem._wf_issue" in names
+    assert "GPUSystem._complete" in names
+    assert prof.total_self_time >= 0.0
+
+
+def test_observability_fields_are_populated_but_not_identity():
+    res = _fig08_point()
+    assert res.wall_time_s > 0.0
+    assert res.events_per_s > 0.0
+    flat = res.fingerprint()
+    assert "wall_time_s" not in flat and "events_per_s" not in flat
+    data = res.to_jsonable()
+    assert "wall_time_s" not in data and "events_per_s" not in data
+    # A cache round-trip (which drops the observability fields) preserves
+    # the result's identity: same fingerprint, zeroed wall clock.
+    from repro.sim.results import SimResult
+
+    clone = SimResult.from_jsonable(data)
+    assert clone.fingerprint() == flat
+    assert clone.wall_time_s == 0.0
+
+
+# ------------------------------------------------------ fast/slow equivalence
+
+
+def test_reserve_fast_is_bit_equal_to_reserve():
+    from repro.sim.resources import Server
+
+    a = Server("a", service=0.5, latency=7.0)
+    b = Server("b", service=0.5, latency=7.0)
+    times = [0.0, 0.25, 0.25, 3.5, 3.5, 3.5, 10.0, 10.125, 50.0]
+    sizes = [1.0, 2.0, 0.5, 1.0, 1.0, 4.0, 1.0, 1.0, 2.5]
+    for t, s in zip(times, sizes):
+        assert a.reserve(t, s) == b.reserve_fast(t, s)
+    assert a.next_free == b.next_free
+    assert a.busy_cycles == b.busy_cycles
+    assert a.num_served == b.num_served
+
+
+def test_traverse_fast_is_bit_equal_to_traverse():
+    from repro.noc.crossbar import Crossbar
+
+    a = Crossbar("a", 4, 4, cycles_per_flit=0.5, latency=3.0)
+    b = Crossbar("b", 4, 4, cycles_per_flit=0.5, latency=3.0)
+    hops = [
+        (0.0, 0, 1, 4), (0.5, 0, 1, 4), (0.5, 2, 1, 1),
+        (7.0, 3, 0, 2), (7.0, 3, 3, 8), (20.0, 1, 2, 1),
+    ]
+    for now, i, o, flits in hops:
+        assert a.traverse(now, i, o, flits) == b.traverse_fast(now, i, o, flits)
+    assert a.flit_hops == b.flit_hops
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        DesignSpec.baseline(),
+        DesignSpec.private(40),
+        DesignSpec.shared(40),
+        DesignSpec.clustered(40, 10),
+        DesignSpec.cdxbar(),
+    ],
+    ids=lambda s: s.label,
+)
+def test_fast_routes_match_topology_methods(spec):
+    """The prebound route closures replicate the NoCTopology methods hop
+    for hop — same ports, same float arithmetic — on fresh twin systems."""
+    app = get_app("P-2MM")
+    sys_a = GPUSystem(app, spec, SimConfig(scale=0.05))
+    sys_b = GPUSystem(app, spec, SimConfig(scale=0.05))
+    fast = sys_b.topo.make_fast_routes()
+    slow = (
+        sys_a.topo.core_to_dcl1, sys_a.topo.dcl1_to_core,
+        sys_a.topo.to_l2, sys_a.topo.from_l2,
+    )
+    gpu = sys_a.cfg.gpu
+    n_l1 = len(sys_a.l1_banks)
+    n_l2 = gpu.num_l2_slices
+    if fast[0] is not None:
+        for t, core, dcl1 in [(0.0, 0, 0), (1.5, 7, n_l1 - 1), (1.5, 12, 3)]:
+            assert slow[0](t, core, dcl1, 2) == fast[0](t, core, dcl1, 2)
+            assert slow[1](t, dcl1, core, 2) == fast[1](t, dcl1, core, 2)
+    for t, src, l2 in [(0.0, 0, 0), (2.0, 1, n_l2 - 1), (2.0, 1, n_l2 - 1)]:
+        assert slow[2](t, src, l2, 3) == fast[2](t, src, l2, 3)
+        assert slow[3](t, l2, src, 3) == fast[3](t, l2, src, 3)
+
+
+def test_fast_home_of_matches_home_of():
+    for spec in (DesignSpec.shared(40), DesignSpec.clustered(40, 10),
+                 DesignSpec.private(40)):
+        sys_ = GPUSystem(get_app("C-NN"), spec, SimConfig(scale=0.05))
+        fast = sys_.home.make_fast_home_of()
+        for core in (0, 3, sys_.cfg.gpu.num_cores - 1):
+            for line in (0, 1, 39, 40, 41, 12345):
+                assert fast(core, line) == sys_.home.home_of(core, line)
+
+
+def test_memory_request_reinit_resets_every_slot():
+    from repro.gpu.request import AccessKind, MemoryRequest
+
+    req = MemoryRequest(0x80, AccessKind.LOAD, 32, 3)
+    req.wavefront = object()
+    req.issue_time = 9.0
+    req.line = 2
+    req.dcl1_id = 4
+    req.l2_id = 5
+    req.mc_id = 1
+    req.l1_hit = req.l2_hit = req.merged = True
+    recycled = req.reinit(0x40, AccessKind.STORE, 16, 7)
+    fresh = MemoryRequest(0x40, AccessKind.STORE, 16, 7)
+    assert recycled is req
+    for slot in MemoryRequest.__slots__:
+        assert getattr(recycled, slot) == getattr(fresh, slot), slot
+
+
+def test_wavefront_materializes_streams_to_plain_ints():
+    """``next_access`` must hand back plain Python ints — NumPy scalar
+    boxing on the hottest call site is what the bind-time ``tolist``
+    conversion exists to avoid."""
+    import numpy as np
+
+    from repro.gpu.wavefront import Wavefront
+
+    class FakeStream:
+        lines = np.array([5, 6, 7], dtype=np.int64)
+        kinds = np.array([0, 1, 0], dtype=np.int8)
+
+        def __len__(self):
+            return 3
+
+    wf = Wavefront(0, 0, FakeStream(), compute_gap=0.0)
+    line, kind = wf.next_access()
+    assert type(line) is int and type(kind) is int
+    assert (line, kind) == (5, 0)
+    assert wf.next_access() == (6, 1)
+    assert wf.next_access() == (7, 0)
+    assert wf.next_access() is None
