@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow analyze profile perf-smoke
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow purity analyze profile perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -46,10 +46,20 @@ race:
 flow:
 	PYTHONPATH=src $(PYTHON) -m repro.cli flow --strict src/repro
 
-# The full static-analysis tripod (SimLint + SimRace + SimFlow) with a
-# unified summary table and combined exit code.
+# SimPure: static cache-key & fingerprint soundness pass, then a
+# mutate-and-replay confirmation that every keyed field changes the key
+# and every excluded input leaves results bit-identical.
+purity:
+	PYTHONPATH=src $(PYTHON) -m repro.cli purity --strict src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.cli purity --confirm --scale 0.1
+
+# The full static-analysis quadripod (SimLint + SimRace + SimFlow +
+# SimPure) with a unified summary table and combined exit code, then the
+# SimPure dynamic confirmation (the only analysis with a replay step
+# cheap enough to keep here).
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro.cli analyze src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.cli purity --confirm --scale 0.1
 
 # Run the simulator-facing test suites with the SimSanitizer ledger on.
 sanitize-test:

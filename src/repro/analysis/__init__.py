@@ -6,7 +6,9 @@ ordering-hazard detection, :mod:`repro.analysis.simrace`), and SimFlow
 (static resource-flow liveness analysis,
 :mod:`repro.analysis.simflow`; its runtime complement, the stall
 watchdog, lives in :mod:`repro.sim.watchdog` to keep this package free
-of :mod:`repro.sim` imports).  See ``docs/analysis.md``."""
+of :mod:`repro.sim` imports), and SimPure (cache-key & fingerprint
+soundness analysis with a dynamic invariance confirmer,
+:mod:`repro.analysis.simpure`).  See ``docs/analysis.md``."""
 
 from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
 from repro.analysis.metrics import amean, geomean, normalize, s_curve
@@ -21,6 +23,16 @@ from repro.analysis.simrace import (
     diff_fingerprints,
     race_rule_table,
     run_race,
+)
+from repro.analysis.simpure import (
+    DECLARED_ENV_INPUTS,
+    PurityFinding,
+    PurityProbe,
+    PurityReport,
+    confirm_purity,
+    purity_rule_table,
+    purity_source,
+    run_purity,
 )
 from repro.analysis.tables import format_table, percent, ratio
 
@@ -54,4 +66,12 @@ __all__ = [
     "flow_rule_table",
     "flow_source",
     "run_flow",
+    "DECLARED_ENV_INPUTS",
+    "PurityFinding",
+    "PurityProbe",
+    "PurityReport",
+    "confirm_purity",
+    "purity_rule_table",
+    "purity_source",
+    "run_purity",
 ]

@@ -26,7 +26,6 @@ subsystem.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 #: A reservation that pushes a port's ``next_free`` more than this many
@@ -40,8 +39,17 @@ class SanitizerError(RuntimeError):
 
 def sanitize_from_env() -> bool:
     """True when the ``REPRO_SANITIZE`` environment variable enables the
-    sanitizer (any value other than empty or ``0``)."""
-    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    sanitizer (any value other than empty or ``0``).
+
+    Kept as a compatibility alias: the environment is resolved by
+    :func:`repro.sim.config.sanitize_env_enabled` at :class:`SimConfig`
+    construction, never by the sim core at run time (SimPure SP401).
+    The import is lazy — the analysis package never imports the sim
+    layer at module scope.
+    """
+    from repro.sim.config import sanitize_env_enabled
+
+    return sanitize_env_enabled()
 
 
 def describe_owner(owner: Any) -> str:

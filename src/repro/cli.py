@@ -14,7 +14,10 @@ The subcommands cover the library's main entry points::
     repro race --static src/repro              # SimRace ordering-hazard scan
     repro race --confirm --app P-2MM -k 5      # SimRace shadow-shuffle replay
     repro flow src/repro                       # SimFlow liveness analysis
-    repro analyze src/repro                    # lint + race + flow, one table
+    repro purity src/repro                     # SimPure key-soundness scan
+    repro purity --confirm --scale 0.1         # mutate-and-replay confirmation
+    repro analyze src/repro                    # the full quadripod, one table
+    repro analyze --json src/repro             # machine-readable CI artifact
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.  Design names accept the paper's labels
@@ -356,11 +359,82 @@ def _cmd_flow(args) -> int:
     return 0
 
 
+def _cmd_purity(args) -> int:
+    import os
+
+    from repro.analysis.simlint import Severity
+    from repro.analysis.simpure import (
+        DEFAULT_CONFIRM_GRID,
+        confirm_purity,
+        purity_rule_table,
+        run_purity,
+    )
+
+    if args.list_rules:
+        for rule_id, severity, title in purity_rule_table():
+            print(f"{rule_id}  {severity:<7}  {title}")
+        return 0
+    if args.select:
+        known = {rule_id for rule_id, _, _ in purity_rule_table()}
+        unknown = [r for r in args.select if r not in known]
+        if unknown:
+            print(
+                f"simpure: unknown rule(s) {', '.join(unknown)} "
+                f"(see `repro purity --list-rules`)",
+                file=sys.stderr,
+            )
+            return 2
+    run_static = args.static or not args.confirm
+    exit_code = 0
+    if run_static:
+        paths = args.paths
+        if not paths:
+            paths = [os.path.dirname(os.path.abspath(__file__))]
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            print(f"simpure: no such path: {', '.join(missing)}", file=sys.stderr)
+            return 2
+        findings = run_purity(paths, select=args.select or None)
+        for f in findings:
+            print(f.format())
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        if findings:
+            print(
+                f"simpure: {errors} error(s), {warnings} warning(s)",
+                file=sys.stderr,
+            )
+        if errors or (args.strict and findings):
+            exit_code = 1
+    if args.confirm:
+        grid = list(DEFAULT_CONFIRM_GRID)
+        if args.grid:
+            grid = []
+            for entry in args.grid:
+                app_name, _, design = entry.partition("/")
+                if not design:
+                    print(
+                        f"simpure: bad --grid entry {entry!r} "
+                        "(expected APP/DESIGN, e.g. P-2MM/Pr40)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                parse_design(design)  # fail fast on unknown designs
+                grid.append((app_name, design))
+        report = confirm_purity(grid=grid, scale=args.scale)
+        print(report.render())
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_analyze(args) -> int:
+    import json
     import os
 
     from repro.analysis.simflow import run_flow
     from repro.analysis.simlint import Severity, run_lint
+    from repro.analysis.simpure import run_purity
     from repro.analysis.simrace import run_race
 
     paths = args.paths
@@ -374,13 +448,16 @@ def _cmd_analyze(args) -> int:
         ("simlint", "determinism/resource hygiene", run_lint),
         ("simrace", "same-cycle ordering hazards", run_race),
         ("simflow", "resource-flow liveness", run_flow),
+        ("simpure", "cache-key & fingerprint soundness", run_purity),
     )
     rows = []
+    report = []
     exit_code = 0
     for name, what, runner in tools:
         findings = runner(paths)
-        for f in findings:
-            print(f.format())
+        if not args.json:
+            for f in findings:
+                print(f.format())
         errors = sum(1 for f in findings if f.severity is Severity.ERROR)
         warnings = len(findings) - errors
         failed = bool(errors or (args.strict and findings))
@@ -390,9 +467,41 @@ def _cmd_analyze(args) -> int:
             name, what, str(errors), str(warnings),
             "FAIL" if failed else "ok",
         ])
-    print(format_table(
-        ["tool", "checks", "errors", "warnings", "status"], rows,
-        title=f"repro analyze: {' '.join(paths)}"))
+        report.append({
+            "tool": name,
+            "checks": what,
+            "errors": errors,
+            "warnings": warnings,
+            "status": "fail" if failed else "ok",
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule_id,
+                    "severity": f.severity.value,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        })
+    if args.json:
+        # One deterministic JSON document on stdout — a CI artifact that
+        # machines diff across runs (findings are already sorted by
+        # path/line/col/rule within each tool).
+        print(json.dumps(
+            {
+                "paths": list(paths),
+                "strict": bool(args.strict),
+                "tools": report,
+                "exit_code": exit_code,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(format_table(
+            ["tool", "checks", "errors", "warnings", "status"], rows,
+            title=f"repro analyze: {' '.join(paths)}"))
     return exit_code
 
 
@@ -503,14 +612,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_flow)
 
     p = sub.add_parser(
+        "purity",
+        help="SimPure: cache-key & fingerprint soundness "
+             "(static AST pass and/or mutate-and-replay confirmation)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories for --static (default: the repro package)")
+    p.add_argument("--static", action="store_true",
+                   help="run the static key-soundness pass "
+                        "(default when --confirm is not given)")
+    p.add_argument("--confirm", action="store_true",
+                   help="mutate every keyed field (key must change) and every "
+                        "excluded input (fingerprint must stay bit-identical) "
+                        "over a small app/design grid")
+    p.add_argument("--grid", action="append", metavar="APP/DESIGN",
+                   help="grid point for --confirm, e.g. P-2MM/Pr40 "
+                        "(repeatable; default: P-2MM/Pr40, T-AlexNet/Sh40+C10, "
+                        "C-BLK/Baseline)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="workload scale for --confirm")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="only run the given SP rule ID (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not only errors")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered SimPure rules and exit")
+    p.set_defaults(func=_cmd_purity)
+
+    p = sub.add_parser(
         "analyze",
-        help="run the full static-analysis tripod (lint + race + flow) "
-             "with a unified summary table and combined exit code",
+        help="run the full static-analysis quadripod (lint + race + flow "
+             "+ purity) with a unified summary table and combined exit code",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to analyze (default: the repro package)")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero on warnings too, not only errors")
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON document on stdout "
+                        "(per-tool findings + combined exit code) instead of "
+                        "the human table — for CI artifacting")
     p.set_defaults(func=_cmd_analyze)
     return parser
 

@@ -1,11 +1,21 @@
 """Timing-simulation substrate: event engine, reservation servers, system wiring."""
 
-from repro.sim.config import GPUConfig, SimConfig
+from repro.sim.config import (
+    GPUConfig,
+    SimConfig,
+    sanitize_env_enabled,
+    watchdog_env_enabled,
+)
 from repro.sim.engine import Engine
 from repro.sim.profiler import EventProfiler, ProfileRow, profile_simulation
 from repro.sim.resources import Server
-from repro.sim.results import SimResult
-from repro.sim.store import CACHE_SCHEMA_VERSION, DiskResultCache, sim_cache_key
+from repro.sim.results import NON_IDENTITY_FIELDS, SimResult, identity_manifest
+from repro.sim.store import (
+    CACHE_SCHEMA_VERSION,
+    DiskResultCache,
+    cache_key_manifest,
+    sim_cache_key,
+)
 from repro.sim.system import GPUSystem, simulate
 from repro.sim.watchdog import (
     SimStallError,
@@ -18,6 +28,11 @@ from repro.sim.watchdog import (
 __all__ = [
     "GPUConfig",
     "SimConfig",
+    "sanitize_env_enabled",
+    "watchdog_env_enabled",
+    "NON_IDENTITY_FIELDS",
+    "identity_manifest",
+    "cache_key_manifest",
     "Engine",
     "EventProfiler",
     "ProfileRow",

@@ -8,7 +8,11 @@ ratio appears as ``noc_cycles_per_flit = 2.0`` (one flit occupies a port
 for two core cycles), which frequency multipliers divide.
 
 :class:`SimConfig` bundles a platform with run parameters (workload scale,
-CTA scheduler, RNG seed).
+CTA scheduler, ablation knobs, observability toggles).  The environment
+variables ``REPRO_SANITIZE`` / ``REPRO_WATCHDOG`` are resolved **once**,
+here at construction time (:func:`sanitize_env_enabled` /
+:func:`watchdog_env_enabled`) — never inside the simulator core — so
+every behavioural input of a run is visible in its config object.
 
 The paper's Section VIII-A system-size study (120 cores / 60 DC-L1s /
 48 L2 slices / 24 channels) is :meth:`GPUConfig.scaled_up`.
@@ -17,8 +21,31 @@ The paper's Section VIII-A system-size study (120 cores / 60 DC-L1s /
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import ClassVar, FrozenSet, Optional
+
+
+def watchdog_env_enabled() -> bool:
+    """Resolve the ``REPRO_WATCHDOG`` environment variable **once**, at
+    :class:`SimConfig` construction (any value other than empty or ``0``
+    enables the stall watchdog).
+
+    This is a *declared input resolver* (SimPure SP401): the simulator
+    core never reads the environment at run time — the value is frozen
+    into ``SimConfig.watchdog``, which is declared fingerprint-neutral
+    (watchdog-on runs are bit-identical to watchdog-off runs).  An
+    explicit ``SimConfig(watchdog=...)`` always beats the environment.
+    """
+    return os.environ.get("REPRO_WATCHDOG", "") not in ("", "0")
+
+
+def sanitize_env_enabled() -> bool:
+    """Resolve the ``REPRO_SANITIZE`` environment variable once, at
+    :class:`SimConfig` construction — the sanitizer twin of
+    :func:`watchdog_env_enabled`, with the same declared-input and
+    fingerprint-neutrality contract."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -112,13 +139,42 @@ class GPUConfig:
 
 @dataclass(frozen=True)
 class SimConfig:
-    """A platform plus run parameters."""
+    """A platform plus run parameters.
+
+    Every field participates in :func:`repro.sim.store.sim_cache_key`
+    **except** the ones named in :data:`FINGERPRINT_NEUTRAL_FIELDS`:
+    observation-only knobs (sanitizer ledger, stall watchdog) that are
+    proven never to change a single result bit, so keying them would only
+    fragment the shared result cache.  SimPure (``repro purity``) checks
+    the declaration both ways: statically (SP401/SP402) and dynamically
+    (``--confirm`` mutates each neutral field and asserts bit-exact
+    fingerprint invariance).
+
+    The simulation itself is fully deterministic given the workload (the
+    trace RNG is seeded from :attr:`AppProfile.name` /
+    :attr:`AppProfile.trace_variant`); there is deliberately no free
+    run-level RNG seed here — an earlier ``seed`` field was never read by
+    the sim core and only split the cache (the SP402 over-keying bug
+    class).
+    """
+
+    #: Fields excluded from the cache key: observation-only, bit-identical
+    #: by contract (enforced by tests/test_watchdog.py, tests/test_simturbo.py
+    #: and ``repro purity --confirm``).  ``race_check``/``race_seed`` stay
+    #: keyed on purpose: shadow-shuffle deliberately perturbs event order,
+    #: and conflating shuffled with FIFO entries would mask the very
+    #: hazards SimRace exists to find.
+    FINGERPRINT_NEUTRAL_FIELDS: ClassVar[FrozenSet[str]] = frozenset({
+        "sanitize",
+        "watchdog",
+        "watchdog_window",
+        "watchdog_same_cycle_limit",
+    })
 
     gpu: GPUConfig = field(default_factory=GPUConfig)
     # Workload scale: multiplies CTA counts (1.0 = benchmark scale).
     scale: float = 1.0
     cta_scheduler: str = "round_robin"
-    seed: int = 0
     # Override the L1/DC-L1 access latency (Figure 19b sweep); None = model.
     l1_latency_override: Optional[float] = None
 
@@ -148,16 +204,19 @@ class SimConfig:
     # Enable the SimSanitizer resource ledger: continuous leak /
     # double-free / schedule-after-drain checking with per-request
     # attribution (see repro.analysis.sanitizer and docs/analysis.md).
-    # Also enabled by the REPRO_SANITIZE=1 environment variable.
-    sanitize: bool = False
+    # Defaults from REPRO_SANITIZE, resolved once at construction — an
+    # explicit sanitize= argument always beats the environment, and the
+    # sim core never consults os.environ at run time (SimPure SP401).
+    sanitize: bool = field(default_factory=sanitize_env_enabled)
 
     # Enable the stall watchdog (see repro.sim.watchdog and
     # docs/analysis.md): diagnose a wedged/livelocked run with a
     # SimStallError carrying a resource wait-graph dump instead of an
     # opaque hang or count mismatch.  Implies the sanitizer ledger (for
     # holder attribution); observation-only — results stay bit-identical.
-    # Also enabled by the REPRO_WATCHDOG=1 environment variable.
-    watchdog: bool = False
+    # Defaults from REPRO_WATCHDOG, resolved once at construction (same
+    # declared-input contract as ``sanitize`` above).
+    watchdog: bool = field(default_factory=watchdog_env_enabled)
     # No-completion window in cycles before the watchdog declares a
     # livelock (generous: the deepest healthy round trip is ~1k cycles).
     watchdog_window: float = 50_000.0

@@ -10,7 +10,7 @@ simulator.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dc_fields
 from typing import Dict, List, Tuple
 
 from repro.cache.cache import CacheStats
@@ -18,6 +18,27 @@ from repro.cache.cache import CacheStats
 # Wall-clock observability fields: reported on results, never part of a
 # run's identity (fingerprint/serialization/equality).
 _OBSERVABILITY_FIELDS = ("wall_time_s", "events_per_s")
+
+#: Public name for the observability exclusion list.  SimPure (SP403) and
+#: the dynamic purity confirmer read this to know which SimResult fields
+#: are *allowed* to differ between replays of the same configuration.
+NON_IDENTITY_FIELDS = _OBSERVABILITY_FIELDS
+
+
+def identity_manifest() -> Dict[str, Tuple[str, ...]]:
+    """Declared identity domain of :class:`SimResult`, derived from the
+    dataclass ``compare`` flags so it cannot drift from the class itself.
+
+    Returns ``{"identity": (...), "non_identity": (...)}`` where
+    ``identity`` fields participate in ``__eq__``/``fingerprint()``/
+    ``to_jsonable()`` and ``non_identity`` fields are observation-only.
+    SimPure cross-checks ``non_identity`` against
+    :data:`NON_IDENTITY_FIELDS` (SP403) and the confirmer asserts that
+    only these fields may vary across replays.
+    """
+    identity = tuple(f.name for f in dc_fields(SimResult) if f.compare)
+    non_identity = tuple(f.name for f in dc_fields(SimResult) if not f.compare)
+    return {"identity": identity, "non_identity": non_identity}
 
 
 @dataclass

@@ -15,10 +15,23 @@ Key derivation
 :class:`~repro.sim.config.SimConfig` (including the nested
 :class:`~repro.sim.config.GPUConfig`) — plus the cache schema version
 into one SHA-256 hex digest.  All three are frozen dataclasses, so
-``dataclasses.asdict`` enumerates every field; the JSON serialization is
+``dataclasses.fields`` enumerates every field; the JSON serialization is
 canonical (sorted keys, no whitespace), which makes the key stable across
 processes and platforms.  Any changed field changes the key; unknown
 field types fail loudly rather than hash ambiguously.
+
+The one deliberate exception: fields a class names in its
+``FINGERPRINT_NEUTRAL_FIELDS`` class variable (e.g.
+``SimConfig.watchdog``, ``AppProfile.suite``) are *excluded* from the
+key.  These are observation-only knobs proven never to change a result
+bit, so keying them would only fragment the shared cache — the same
+simulation stored twice.  The declaration is machine-checked from both
+sides by SimPure (``repro purity``): statically, that the sim core
+cannot read an input that is not keyed (SP401), and dynamically
+(``--confirm``), that mutating a neutral field leaves the result
+fingerprint bit-identical while mutating any keyed field changes the
+key.  :func:`cache_key_manifest` exports the declared domain for the
+analyzer.
 
 Layout and versioning
 ---------------------
@@ -49,16 +62,19 @@ import os
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.designs import DesignSpec
-from repro.sim.config import SimConfig
+from repro.sim.config import GPUConfig, SimConfig
 from repro.sim.results import SimResult
 from repro.workloads.profile import AppProfile
 
 #: Version of the (key, payload) schema.  Part of every key and of the
 #: on-disk path; bump to invalidate all previously cached results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: fingerprint-neutral fields (SimConfig sanitize/watchdog knobs,
+#: AppProfile.suite) left the key domain and the dead ``SimConfig.seed``
+#: field was removed, so v1 keys no longer correspond to v2 keys.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable naming the default cache directory.  Unset (or
 #: empty) means the persistent cache is off unless a directory is passed
@@ -66,12 +82,21 @@ CACHE_SCHEMA_VERSION = 1
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
+def _neutral_fields(obj: object) -> frozenset:
+    """A dataclass's declared fingerprint-neutral field names (none by
+    default) — the only fields :func:`_canonical` skips when keying."""
+    return getattr(type(obj), "FINGERPRINT_NEUTRAL_FIELDS", frozenset())
+
+
 def _canonical(obj: object) -> object:
-    """Recursively reduce dataclasses/enums/containers to JSON-safe data."""
+    """Recursively reduce dataclasses/enums/containers to JSON-safe data,
+    dropping declared fingerprint-neutral fields (see module docstring)."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        neutral = _neutral_fields(obj)
         return {
             f.name: _canonical(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
+            if f.name not in neutral
         }
     if isinstance(obj, enum.Enum):
         return obj.value
@@ -82,6 +107,43 @@ def _canonical(obj: object) -> object:
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for cache keying")
+
+
+#: The dataclasses whose fields make up the cache-key domain, in payload
+#: order.  SimPure reads this through :func:`cache_key_manifest`.
+_KEYED_CLASSES: Tuple[Tuple[str, type], ...] = (
+    ("profile", AppProfile),
+    ("design", DesignSpec),
+    ("config", SimConfig),
+    ("gpu", GPUConfig),
+)
+
+
+def cache_key_manifest() -> Dict[str, Dict[str, object]]:
+    """Declared cache-key domain, derived from the keyed dataclasses.
+
+    Returns one entry per keyed class::
+
+        {"config": {"class": "SimConfig",
+                    "keyed": ("gpu", "scale", ...),
+                    "neutral": ("sanitize", "watchdog", ...)}, ...}
+
+    ``keyed`` fields flow into :func:`sim_cache_key`; ``neutral`` fields
+    are the class's declared ``FINGERPRINT_NEUTRAL_FIELDS`` (excluded
+    from the key, proven fingerprint-invariant by
+    ``repro purity --confirm``).  SimPure's SP401/SP402 diff this
+    manifest against what the simulator core actually reads.
+    """
+    manifest: Dict[str, Dict[str, object]] = {}
+    for role, cls in _KEYED_CLASSES:
+        neutral = getattr(cls, "FINGERPRINT_NEUTRAL_FIELDS", frozenset())
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        manifest[role] = {
+            "class": cls.__name__,
+            "keyed": tuple(n for n in names if n not in neutral),
+            "neutral": tuple(sorted(neutral)),
+        }
+    return manifest
 
 
 def sim_cache_key(profile: AppProfile, spec: DesignSpec, cfg: SimConfig) -> str:

@@ -54,7 +54,6 @@ from collections import deque
 from time import perf_counter
 from typing import List, Optional, Union
 
-from repro.analysis.sanitizer import sanitize_from_env
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.directory import ReplicationDirectory
 from repro.cache.mshr import MSHRFile
@@ -72,7 +71,7 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.sim.resources import Server
 from repro.sim.results import SimResult
-from repro.sim.watchdog import StallWatchdog, build_wait_graph, watchdog_from_env
+from repro.sim.watchdog import StallWatchdog, build_wait_graph
 from repro.workloads.generator import Workload, generate_workload
 from repro.workloads.profile import AppProfile
 
@@ -150,15 +149,18 @@ class GPUSystem:
         # Opt-in SimSanitizer: mirror every acquire/release-shaped resource
         # in a central ledger so leaks/double-frees/lifecycle bugs surface
         # immediately, attributed to the owning request (docs/analysis.md).
+        # The REPRO_SANITIZE / REPRO_WATCHDOG environment variables were
+        # already resolved into the config at SimConfig construction; the
+        # sim core itself never reads the environment (SimPure SP401).
         self._ledger = None
         self._sanitized_completions = 0
-        if self.cfg.sanitize or sanitize_from_env():
+        if self.cfg.sanitize:
             self._attach_sanitizer()
 
         # Opt-in stall watchdog (see repro.sim.watchdog): diagnose a
         # wedged/livelocked run with a SimStallError + wait-graph dump.
         self._watchdog = None
-        if self.cfg.watchdog or watchdog_from_env():
+        if self.cfg.watchdog:
             self._attach_watchdog()
 
         # Resolve the fast/slow hot-path split — must run last: it

@@ -37,11 +37,11 @@ queues and the L1/L2 MSHR stall queues.  See ``docs/analysis.md``.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.analysis.sanitizer import describe_owner
+from repro.sim.config import watchdog_env_enabled
 
 __all__ = [
     "SimStallError",
@@ -57,8 +57,13 @@ _MAX_SECTION_LINES = 16
 
 def watchdog_from_env() -> bool:
     """True when the ``REPRO_WATCHDOG`` environment variable enables the
-    watchdog (any value other than empty or ``0``)."""
-    return os.environ.get("REPRO_WATCHDOG", "") not in ("", "0")
+    watchdog (any value other than empty or ``0``).
+
+    Kept as a compatibility alias: the environment is resolved by
+    :func:`repro.sim.config.watchdog_env_enabled` at :class:`SimConfig`
+    construction, never by the sim core at run time (SimPure SP401).
+    """
+    return watchdog_env_enabled()
 
 
 class SimStallError(RuntimeError):

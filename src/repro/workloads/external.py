@@ -13,6 +13,7 @@ directly as cache-line indices (``unit="lines"``).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -105,12 +106,10 @@ def workload_from_streams(
     if not cta_streams:
         raise ValueError("no streams given")
     # Reflect real volume in the profile so scale/statistics make sense.
-    profile = AppProfile(
-        **{
-            **{f.name: getattr(profile, f.name) for f in profile.__dataclass_fields__.values()},
-            "num_ctas": len(cta_streams),
-            "accesses_per_cta": max(len(s) for s in cta_streams),
-        }
+    profile = dataclasses.replace(
+        profile,
+        num_ctas=len(cta_streams),
+        accesses_per_cta=max(len(s) for s in cta_streams),
     )
     return Workload(profile, cta_streams)
 

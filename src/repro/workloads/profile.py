@@ -34,13 +34,21 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, replace
+from typing import ClassVar, FrozenSet
 
 
 @dataclass(frozen=True)
 class AppProfile:
     """Parameters describing one synthetic GPGPU application."""
 
+    #: Fields excluded from :func:`repro.sim.store.sim_cache_key`: pure
+    #: metadata the trace generator never reads (checked statically by
+    #: SimPure SP402 and dynamically by ``repro purity --confirm``).
+    FINGERPRINT_NEUTRAL_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"suite"})
+
     name: str
+    # Display grouping only (e.g. "polybench"); never read by the trace
+    # generator, so it is fingerprint-neutral by declaration above.
     suite: str = ""
 
     # Volume / shape

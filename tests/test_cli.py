@@ -48,6 +48,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "Z-Nope"])
 
+    def test_purity_args(self):
+        args = build_parser().parse_args(
+            ["purity", "--confirm", "--grid", "P-2MM/Pr40", "--scale", "0.1"]
+        )
+        assert args.confirm is True
+        assert args.grid == ["P-2MM/Pr40"]
+        assert args.scale == 0.1
+        assert args.static is False
+
+    def test_analyze_json_flag(self):
+        args = build_parser().parse_args(["analyze", "--json", "src"])
+        assert args.json is True
+        assert build_parser().parse_args(["analyze", "src"]).json is False
+
 
 class TestCommands:
     def test_figures_list(self, capsys):

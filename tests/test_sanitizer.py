@@ -183,13 +183,23 @@ class TestSystemIntegration:
         assert ledger.acquires == ledger.releases > 0
         assert ledger.outstanding() == 0
 
-    def test_env_var_enables_sanitizer(self, monkeypatch, tiny_config, shared_profile):
+    def test_env_var_enables_sanitizer(self, monkeypatch, tiny_gpu, shared_profile):
+        # The environment is resolved once, at SimConfig construction
+        # (never by the sim core at run time — SimPure SP401), so the
+        # config must be built after the env var changes.
         monkeypatch.setenv("REPRO_SANITIZE", "1")
-        system = GPUSystem(shared_profile, DesignSpec.baseline(), tiny_config)
+        cfg = SimConfig(gpu=tiny_gpu)
+        assert cfg.sanitize is True
+        system = GPUSystem(shared_profile, DesignSpec.baseline(), cfg)
         assert system._ledger is not None
         monkeypatch.setenv("REPRO_SANITIZE", "0")
-        system = GPUSystem(shared_profile, DesignSpec.baseline(), tiny_config)
+        cfg = SimConfig(gpu=tiny_gpu)
+        assert cfg.sanitize is False
+        system = GPUSystem(shared_profile, DesignSpec.baseline(), cfg)
         assert system._ledger is None
+        # Explicit beats environment in both directions.
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert SimConfig(gpu=tiny_gpu, sanitize=False).sanitize is False
 
     def test_injected_mshr_leak_caught_and_attributed(
         self, monkeypatch, tiny_config, streaming_profile

@@ -473,6 +473,7 @@ def test_cli_analyze_runs_all_three_tools(tmp_path, capsys):
     assert main(["analyze", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "simlint" in out and "simrace" in out and "simflow" in out
+    assert "simpure" in out
     assert "ok" in out
 
 

@@ -60,34 +60,76 @@ class TestCacheKey:
         )
         assert out.stdout.strip() == sim_cache_key(PROFILE, SPEC, CFG)
 
-    @pytest.mark.parametrize("field_name", [f.name for f in dataclasses.fields(SimConfig)])
-    def test_any_simconfig_field_changes_key(self, field_name):
+    # A changed value for every SimConfig field (keyed and neutral).
+    _SIMCONFIG_CHANGED = {
+        "gpu": GPUConfig(num_cores=32, num_l2_slices=8, num_channels=4),
+        "scale": 0.123,
+        "cta_scheduler": "distributed",
+        "l1_latency_override": 11.0,
+        "home_strategy": "bits",
+        "home_bit_shift": 3,
+        "full_line_noc1_replies": True,
+        "l1_policy": "fifo",
+        "l2_policy": "fifo",
+        "l1_bypass": True,
+        "dcl1_queue_depth": 4,
+        "sanitize": True,
+        "watchdog": True,
+        "watchdog_window": 1.0,
+        "watchdog_same_cycle_limit": 7,
+        "race_check": True,
+        "race_seed": 42,
+        "max_events": 123,
+    }
+
+    def test_changed_value_map_is_exhaustive(self):
+        """Every SimConfig field has an entry above — a new field without
+        one fails here instead of silently skipping the key check."""
+        assert set(self._SIMCONFIG_CHANGED) == {
+            f.name for f in dataclasses.fields(SimConfig)
+        }
+
+    @pytest.mark.parametrize("field_name", sorted(
+        {f.name for f in dataclasses.fields(SimConfig)}
+        - SimConfig.FINGERPRINT_NEUTRAL_FIELDS
+    ))
+    def test_any_keyed_simconfig_field_changes_key(self, field_name):
         base = sim_cache_key(PROFILE, SPEC, CFG)
-        current = getattr(CFG, field_name)
-        changed = {
-            "gpu": GPUConfig(num_cores=32, num_l2_slices=8, num_channels=4),
-            "scale": 0.123,
-            "cta_scheduler": "distributed",
-            "seed": 99,
-            "l1_latency_override": 11.0,
-            "home_strategy": "bits",
-            "home_bit_shift": 3,
-            "full_line_noc1_replies": True,
-            "l1_policy": "fifo",
-            "l2_policy": "fifo",
-            "l1_bypass": True,
-            "dcl1_queue_depth": 4,
-            "sanitize": True,
-            "watchdog": True,
-            "watchdog_window": 1.0,
-            "watchdog_same_cycle_limit": 7,
-            "race_check": True,
-            "race_seed": 42,
-            "max_events": 123,
-        }[field_name]
-        assert changed != current, field_name
+        changed = self._SIMCONFIG_CHANGED[field_name]
+        assert changed != getattr(CFG, field_name), field_name
         cfg = dataclasses.replace(CFG, **{field_name: changed})
         assert sim_cache_key(PROFILE, SPEC, cfg) != base, field_name
+
+    @pytest.mark.parametrize("field_name", sorted(SimConfig.FINGERPRINT_NEUTRAL_FIELDS))
+    def test_neutral_simconfig_field_keeps_key(self, field_name):
+        """Observation-only knobs must NOT fragment the shared cache:
+        the same simulation with the watchdog/sanitizer toggled hits the
+        same entry (their bit-invariance is proven by purity --confirm)."""
+        base = sim_cache_key(PROFILE, SPEC, CFG)
+        changed = self._SIMCONFIG_CHANGED[field_name]
+        assert changed != getattr(CFG, field_name), field_name
+        cfg = dataclasses.replace(CFG, **{field_name: changed})
+        assert sim_cache_key(PROFILE, SPEC, cfg) == base, field_name
+
+    def test_neutral_profile_field_keeps_key(self):
+        profile = dataclasses.replace(PROFILE, suite="polybench")
+        assert sim_cache_key(profile, SPEC, CFG) == sim_cache_key(PROFILE, SPEC, CFG)
+
+    def test_cache_key_manifest_matches_classes(self):
+        from repro.sim.store import cache_key_manifest
+
+        manifest = cache_key_manifest()
+        assert set(manifest) == {"profile", "design", "config", "gpu"}
+        cfg = manifest["config"]
+        assert cfg["class"] == "SimConfig"
+        assert set(cfg["neutral"]) == SimConfig.FINGERPRINT_NEUTRAL_FIELDS
+        assert set(cfg["keyed"]) | set(cfg["neutral"]) == {
+            f.name for f in dataclasses.fields(SimConfig)
+        }
+        assert not set(cfg["keyed"]) & set(cfg["neutral"])
+        assert manifest["profile"]["neutral"] == ("suite",)
+        assert manifest["design"]["neutral"] == ()
+        assert manifest["gpu"]["neutral"] == ()
 
     @pytest.mark.parametrize("field_name,value", [
         ("kind", DesignSpec.baseline().kind),

@@ -157,10 +157,20 @@ class TestConfiguration:
         assert system._watchdog is not None
         assert system._ledger is not None  # attribution needs the ledger
 
-    def test_off_by_default(self, tiny_config, shared_profile, monkeypatch):
+    def test_off_by_default(self, tiny_gpu, shared_profile, monkeypatch):
+        # REPRO_WATCHDOG is resolved at SimConfig construction, so the
+        # config must be built after the env var is cleared.
         monkeypatch.delenv("REPRO_WATCHDOG", raising=False)
-        system = GPUSystem(shared_profile, DesignSpec.shared(8), tiny_config)
+        cfg = SimConfig(gpu=tiny_gpu)
+        assert cfg.watchdog is False
+        system = GPUSystem(shared_profile, DesignSpec.shared(8), cfg)
         assert system._watchdog is None
+
+    def test_env_var_resolved_at_construction(self, tiny_gpu, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG", "1")
+        assert SimConfig(gpu=tiny_gpu).watchdog is True
+        # Explicit beats environment.
+        assert SimConfig(gpu=tiny_gpu, watchdog=False).watchdog is False
 
 
 class TestWaitGraph:
