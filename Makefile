@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow purity analyze profile perf-smoke
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow purity shard analyze profile perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,13 +53,21 @@ purity:
 	PYTHONPATH=src $(PYTHON) -m repro.cli purity --strict src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.cli purity --confirm --scale 0.1
 
-# The full static-analysis quadripod (SimLint + SimRace + SimFlow +
-# SimPure) with a unified summary table and combined exit code, then the
-# SimPure dynamic confirmation (the only analysis with a replay step
-# cheap enough to keep here).
+# SimShard: static distribution-safety pass over the sweep layer, then a
+# serial/fork/spawn replay that confirms grid points pickle faithfully
+# and pooled sweeps stay bit-identical to serial.
+shard:
+	PYTHONPATH=src $(PYTHON) -m repro.cli shard --strict src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.cli shard --confirm --scale 0.1
+
+# The full static-analysis pentapod (SimLint + SimRace + SimFlow +
+# SimPure + SimShard) with a unified summary table and combined exit
+# code, then the cheap dynamic confirmations (SimPure mutate-and-replay,
+# SimShard serial/fork/spawn replay).
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro.cli analyze src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.cli purity --confirm --scale 0.1
+	PYTHONPATH=src $(PYTHON) -m repro.cli shard --confirm --scale 0.1
 
 # Run the simulator-facing test suites with the SimSanitizer ledger on.
 sanitize-test:

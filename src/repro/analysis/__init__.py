@@ -6,9 +6,13 @@ ordering-hazard detection, :mod:`repro.analysis.simrace`), and SimFlow
 (static resource-flow liveness analysis,
 :mod:`repro.analysis.simflow`; its runtime complement, the stall
 watchdog, lives in :mod:`repro.sim.watchdog` to keep this package free
-of :mod:`repro.sim` imports), and SimPure (cache-key & fingerprint
+of :mod:`repro.sim` imports), SimPure (cache-key & fingerprint
 soundness analysis with a dynamic invariance confirmer,
-:mod:`repro.analysis.simpure`).  See ``docs/analysis.md``."""
+:mod:`repro.analysis.simpure`), and SimShard (distribution-safety
+analysis of the sweep layer with a serial/fork/spawn replay confirmer,
+:mod:`repro.analysis.simshard`; its runtime complement,
+``validate_grid``, lives in :mod:`repro.sim.validation`).  See
+``docs/analysis.md``."""
 
 from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
 from repro.analysis.metrics import amean, geomean, normalize, s_curve
@@ -33,6 +37,16 @@ from repro.analysis.simpure import (
     purity_rule_table,
     purity_source,
     run_purity,
+)
+from repro.analysis.simshard import (
+    WORKER_SAFE_GLOBALS,
+    ShardFinding,
+    ShardProbe,
+    ShardReport,
+    confirm_shard,
+    run_shard,
+    shard_rule_table,
+    shard_source,
 )
 from repro.analysis.tables import format_table, percent, ratio
 
@@ -74,4 +88,12 @@ __all__ = [
     "purity_rule_table",
     "purity_source",
     "run_purity",
+    "WORKER_SAFE_GLOBALS",
+    "ShardFinding",
+    "ShardProbe",
+    "ShardReport",
+    "confirm_shard",
+    "run_shard",
+    "shard_rule_table",
+    "shard_source",
 ]

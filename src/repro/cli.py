@@ -16,7 +16,9 @@ The subcommands cover the library's main entry points::
     repro flow src/repro                       # SimFlow liveness analysis
     repro purity src/repro                     # SimPure key-soundness scan
     repro purity --confirm --scale 0.1         # mutate-and-replay confirmation
-    repro analyze src/repro                    # the full quadripod, one table
+    repro shard src/repro                      # SimShard distribution safety
+    repro shard --confirm --scale 0.1          # serial/fork/spawn replay diff
+    repro analyze src/repro                    # the full pentapod, one table
     repro analyze --json src/repro             # machine-readable CI artifact
 
 Installed as the ``repro`` console script; also runnable as
@@ -38,6 +40,11 @@ from repro.core.designs import DesignSpec
 from repro.sim.config import SimConfig
 from repro.sim.system import simulate
 from repro.workloads.suite import APP_NAMES, get_app
+
+#: Version of the ``repro analyze --json`` report schema.  Bump when the
+#: document's shape changes so downstream consumers (the future SimServe
+#: API, CI artifact differs) can dispatch on it.
+ANALYZE_SCHEMA_VERSION = 1
 
 _NAMED_DESIGNS = {
     "baseline": DesignSpec.baseline(),
@@ -202,13 +209,23 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.sim.validation import GridValidationError, validate_grid
+
     runner = _make_runner(args, args.scale)
     app = get_app(args.app)
     specs = [DesignSpec.baseline()]
     specs += [DesignSpec.private(y) for y in (80, 40, 20, 10)]
     specs += [DesignSpec.clustered(40, z) for z in (1, 5, 10, 20)]
     specs.append(DesignSpec.clustered(40, 10, boost=2.0))
-    results = runner.run_many([(app, spec) for spec in specs])
+    points = [(app, spec) for spec in specs]
+    # Strict pre-flight (duplicates are grid-construction bugs here, not
+    # intentional collapses) before anything reaches the process pool.
+    try:
+        validate_grid(runner.resolve_points(points))
+    except GridValidationError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    results = runner.run_many(points)
     base = results[0]
     rows = [
         [spec.label, f"{res.speedup_vs(base):.2f}x", f"{res.l1_miss_rate:.1%}"]
@@ -428,6 +445,76 @@ def _cmd_purity(args) -> int:
     return exit_code
 
 
+def _cmd_shard(args) -> int:
+    import os
+
+    from repro.analysis.simlint import Severity
+    from repro.analysis.simshard import (
+        DEFAULT_CONFIRM_GRID,
+        confirm_shard,
+        run_shard,
+        shard_rule_table,
+    )
+
+    if args.list_rules:
+        for rule_id, severity, title in shard_rule_table():
+            print(f"{rule_id}  {severity:<7}  {title}")
+        return 0
+    if args.select:
+        known = {rule_id for rule_id, _, _ in shard_rule_table()}
+        unknown = [r for r in args.select if r not in known]
+        if unknown:
+            print(
+                f"simshard: unknown rule(s) {', '.join(unknown)} "
+                f"(see `repro shard --list-rules`)",
+                file=sys.stderr,
+            )
+            return 2
+    run_static = args.static or not args.confirm
+    exit_code = 0
+    findings = []
+    if run_static:
+        paths = args.paths
+        if not paths:
+            paths = [os.path.dirname(os.path.abspath(__file__))]
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            print(f"simshard: no such path: {', '.join(missing)}", file=sys.stderr)
+            return 2
+        findings = run_shard(paths, select=args.select or None)
+        for f in findings:
+            print(f.format())
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        if findings:
+            print(
+                f"simshard: {errors} error(s), {warnings} warning(s)",
+                file=sys.stderr,
+            )
+        if errors or (args.strict and findings):
+            exit_code = 1
+    if args.confirm:
+        grid = list(DEFAULT_CONFIRM_GRID)
+        if args.grid:
+            grid = []
+            for entry in args.grid:
+                app_name, _, design = entry.partition("/")
+                if not design:
+                    print(
+                        f"simshard: bad --grid entry {entry!r} "
+                        "(expected APP/DESIGN, e.g. P-2MM/Pr40)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                parse_design(design)  # fail fast on unknown designs
+                grid.append((app_name, design))
+        report = confirm_shard(grid=grid, scale=args.scale, jobs=args.jobs)
+        print(report.render(findings))
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_analyze(args) -> int:
     import json
     import os
@@ -436,6 +523,7 @@ def _cmd_analyze(args) -> int:
     from repro.analysis.simlint import Severity, run_lint
     from repro.analysis.simpure import run_purity
     from repro.analysis.simrace import run_race
+    from repro.analysis.simshard import run_shard
 
     paths = args.paths
     if not paths:
@@ -449,6 +537,7 @@ def _cmd_analyze(args) -> int:
         ("simrace", "same-cycle ordering hazards", run_race),
         ("simflow", "resource-flow liveness", run_flow),
         ("simpure", "cache-key & fingerprint soundness", run_purity),
+        ("simshard", "distribution safety", run_shard),
     )
     rows = []
     report = []
@@ -491,6 +580,7 @@ def _cmd_analyze(args) -> int:
         # path/line/col/rule within each tool).
         print(json.dumps(
             {
+                "schema_version": ANALYZE_SCHEMA_VERSION,
                 "paths": list(paths),
                 "strict": bool(args.strict),
                 "tools": report,
@@ -640,9 +730,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_purity)
 
     p = sub.add_parser(
+        "shard",
+        help="SimShard: distribution safety of the sweep layer "
+             "(static AST pass and/or serial/fork/spawn replay confirmation)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories for --static (default: the repro package)")
+    p.add_argument("--static", action="store_true",
+                   help="run the static distribution-safety pass "
+                        "(default when --confirm is not given)")
+    p.add_argument("--confirm", action="store_true",
+                   help="pickle-roundtrip every grid point (cache key must "
+                        "survive) and replay a small grid serial vs fork-pool "
+                        "vs spawn-pool, requiring bit-identical fingerprints")
+    p.add_argument("--grid", action="append", metavar="APP/DESIGN",
+                   help="grid point for --confirm, e.g. P-2MM/Pr40 "
+                        "(repeatable; default: P-2MM/Pr40, T-AlexNet/Sh40+C10, "
+                        "C-BLK/Baseline, C-NN/Sh40)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="workload scale for --confirm")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="pool width for the --confirm replays (default 2)")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="only run the given SD rule ID (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not only errors")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered SimShard rules and exit")
+    p.set_defaults(func=_cmd_shard)
+
+    p = sub.add_parser(
         "analyze",
-        help="run the full static-analysis quadripod (lint + race + flow "
-             "+ purity) with a unified summary table and combined exit code",
+        help="run the full static-analysis pentapod (lint + race + flow "
+             "+ purity + shard) with a unified summary table and combined "
+             "exit code",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to analyze (default: the repro package)")

@@ -28,6 +28,7 @@ headline numbers, the paper's reported values, and a text rendering.
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -40,6 +41,7 @@ from repro.sim.config import GPUConfig, SimConfig
 from repro.sim.results import SimResult
 from repro.sim.store import DiskResultCache, cache_from_env, sim_cache_key
 from repro.sim.system import simulate
+from repro.sim.validation import validate_grid
 from repro.workloads.profile import AppProfile
 from repro.workloads.suite import get_app
 
@@ -104,6 +106,34 @@ def env_jobs(default: int = 1) -> int:
         )
         return default
     return max(1, jobs)
+
+
+def env_par_min_points(default: int = 4) -> int:
+    """Minimum cache-miss count before :meth:`Runner.run_many` fans out
+    over a process pool, from ``REPRO_PAR_MIN_POINTS``.
+
+    Pool startup (interpreter forks/spawns, module imports, payload
+    pickling) costs real wall clock; on small grids a serial loop wins
+    — the ROADMAP's 24-point measurement had parallel-cold *slower* than
+    serial-cold.  Below the threshold ``run_many`` runs its misses
+    serially and records that path in :attr:`Runner.sweep_paths`.
+    Malformed values warn and fall back, mirroring :func:`env_jobs`;
+    values below 1 are clamped to 1 (1 = always parallel when jobs > 1).
+    """
+    raw = os.environ.get("REPRO_PAR_MIN_POINTS")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_PAR_MIN_POINTS={raw!r} (not an "
+            f"int); using {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return max(1, value)
 
 
 def _fmt_value(v: object) -> str:
@@ -190,6 +220,11 @@ class Runner:
         # reflects per-sim throughput, not sweep elapsed time.
         self.sim_wall_s = 0.0
         self.sim_events = 0
+        # Which execution path each run_many miss batch took
+        # ("parallel[fork]", "serial[below-min-points]", ...) -> count.
+        # Surfaced by throughput_summary() so the small-grid serial
+        # fallback is observable, not silent.
+        self.sweep_paths: Dict[str, int] = {}
 
     # -- configuration resolution -----------------------------------------
 
@@ -273,21 +308,18 @@ class Runner:
             self._store_miss(point, result)
         return result
 
-    def run_many(
-        self,
-        points: Iterable[SweepPoint],
-        jobs: Optional[int] = None,
-    ) -> List[SimResult]:
-        """Run a whole sweep grid; results in submission order.
+    def resolve_points(
+        self, points: Iterable[SweepPoint]
+    ) -> List[Tuple[AppProfile, DesignSpec, SimConfig]]:
+        """Resolve sweep points to frozen (profile, spec, config) triples.
 
         Each point is ``(app, spec)`` or ``(app, spec, run_kwargs)``.
-        Duplicate points collapse to one simulation.  Points not served
-        by a cache layer fan out over a ``ProcessPoolExecutor`` when the
-        effective ``jobs`` exceeds 1; ordering, fingerprints and
-        ``sims_run`` accounting are identical to a serial loop, because
-        every simulation is a pure function of its frozen inputs.
+        This is the exact pool-boundary payload :meth:`run_many` submits;
+        the CLI and the SimShard confirmer resolve through here so their
+        :func:`~repro.sim.validation.validate_grid` pre-flight sees the
+        same triples the pool would.
         """
-        resolved: List[tuple] = []
+        resolved: List[Tuple[AppProfile, DesignSpec, SimConfig]] = []
         for item in points:
             if len(item) == 2:
                 app, spec = item  # type: ignore[misc]
@@ -300,6 +332,34 @@ class Runner:
                 )
             profile, cfg = self._resolve(app, **kwargs)
             resolved.append((profile, spec, cfg))
+        return resolved
+
+    def run_many(
+        self,
+        points: Iterable[SweepPoint],
+        jobs: Optional[int] = None,
+        mp_context: Union[str, multiprocessing.context.BaseContext, None] = None,
+        par_min_points: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Run a whole sweep grid; results in submission order.
+
+        Each point is ``(app, spec)`` or ``(app, spec, run_kwargs)``.
+        The resolved grid is pre-flighted through
+        :func:`~repro.sim.validation.validate_grid` before anything is
+        submitted (duplicate points are allowed here — they collapse to
+        one simulation).  Points not served by a cache layer fan out
+        over a ``ProcessPoolExecutor`` when the effective ``jobs``
+        exceeds 1 *and* the miss count reaches ``par_min_points``
+        (default ``REPRO_PAR_MIN_POINTS``, 4 — pool startup dominates on
+        smaller grids, so those run serially; :attr:`sweep_paths`
+        records which path ran).  ``mp_context`` selects the pool start
+        method (``"fork"``/``"spawn"`` name or a multiprocessing
+        context; default: the platform default).  Ordering, fingerprints
+        and ``sims_run`` accounting are identical across every path,
+        because each simulation is a pure function of its frozen inputs.
+        """
+        resolved = self.resolve_points(points)
+        validate_grid(resolved, on_duplicate="collapse")
 
         results: List[Optional[SimResult]] = [None] * len(resolved)
         pending: Dict[tuple, List[int]] = {}
@@ -313,11 +373,28 @@ class Runner:
         misses = list(pending)
         if misses:
             width = self.jobs if jobs is None else max(1, int(jobs))
-            if width > 1 and len(misses) > 1:
-                with ProcessPoolExecutor(max_workers=min(width, len(misses))) as pool:
+            floor = (
+                env_par_min_points() if par_min_points is None
+                else max(1, int(par_min_points))
+            )
+            if width > 1 and len(misses) >= max(2, floor):
+                ctx = (
+                    multiprocessing.get_context(mp_context)
+                    if isinstance(mp_context, str) else mp_context
+                )
+                path = f"parallel[{ctx.get_start_method()}]" if ctx else "parallel"
+                with ProcessPoolExecutor(
+                    max_workers=min(width, len(misses)), mp_context=ctx
+                ) as pool:
                     fresh = list(pool.map(_simulate_point, misses, chunksize=1))
             else:
+                path = (
+                    "serial[below-min-points]"
+                    if width > 1 and len(misses) > 1
+                    else "serial"
+                )
                 fresh = [_simulate_point(p) for p in misses]
+            self.sweep_paths[path] = self.sweep_paths.get(path, 0) + 1
             for point, result in zip(misses, fresh):
                 self._store_miss(point, result)
                 for i in pending[point]:
@@ -326,14 +403,21 @@ class Runner:
 
     def throughput_summary(self) -> str:
         """One-line aggregate of simulator throughput (``repro figures``,
-        bench harness).  Empty when every request was cache-served."""
+        bench harness), including which sweep path(s) ran the misses.
+        Empty when every request was cache-served."""
         if self.sims_run == 0 or self.sim_wall_s <= 0.0:
             return ""
         rate = self.sim_events / self.sim_wall_s
-        return (
+        line = (
             f"{self.sims_run} sim(s), {self.sim_wall_s:.1f}s simulator time, "
             f"{rate:,.0f} events/s"
         )
+        if self.sweep_paths:
+            paths = ", ".join(
+                f"{k} x{n}" for k, n in sorted(self.sweep_paths.items())
+            )
+            line += f" [{paths}]"
+        return line
 
     def speedup(self, app, spec: DesignSpec, **kwargs) -> float:
         """IPC of ``spec`` normalized to the baseline design (same config)."""

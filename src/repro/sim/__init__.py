@@ -17,6 +17,7 @@ from repro.sim.store import (
     sim_cache_key,
 )
 from repro.sim.system import GPUSystem, simulate
+from repro.sim.validation import GridValidationError, validate_grid
 from repro.sim.watchdog import (
     SimStallError,
     StallWatchdog,
@@ -44,6 +45,8 @@ __all__ = [
     "sim_cache_key",
     "GPUSystem",
     "simulate",
+    "GridValidationError",
+    "validate_grid",
     "SimStallError",
     "StallWatchdog",
     "WaitGraph",

@@ -16,13 +16,20 @@ is reported thousands of events after the bug — not after a livelocked
 
 Each violated invariant produces one human-readable finding; an empty list
 means the run is clean.  :func:`assert_clean` raises on findings.
+
+:func:`validate_grid` is the *pre-flight* counterpart for sweeps: it
+checks a resolved grid of (profile, spec, config) points — types,
+parameter sanity, cache-keyability, duplicate-after-normalization
+collisions — before :meth:`~repro.experiments.base.Runner.run_many` or
+the CLI submit anything to a process pool.  A malformed point should
+fail in milliseconds at submission, not minutes into a sharded sweep.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Tuple
 
-from repro.core.designs import DesignKind
+from repro.core.designs import DesignKind, DesignSpec
 
 
 def audit(system) -> List[str]:
@@ -158,3 +165,117 @@ def assert_clean(system) -> None:
         raise AssertionError(
             "invariant violations:\n  " + "\n  ".join(findings)
         )
+
+
+class GridValidationError(ValueError):
+    """A sweep grid failed pre-flight validation.
+
+    ``problems`` holds every violation found (validation does not stop at
+    the first), so one failure report covers the whole grid.
+    """
+
+    def __init__(self, problems: Sequence[str]):
+        self.problems: List[str] = list(problems)
+        super().__init__(
+            "invalid sweep grid:\n  " + "\n  ".join(self.problems)
+        )
+
+
+def validate_grid(
+    points: Sequence[Tuple[object, object, object]],
+    *,
+    on_duplicate: str = "error",
+) -> List[str]:
+    """Pre-flight check of a resolved sweep grid; returns the cache keys.
+
+    Each point must be a fully resolved ``(profile, spec, config)``
+    triple (see :meth:`~repro.experiments.base.Runner.resolve_points`).
+    Checks, accumulating *all* problems before raising:
+
+    * shape and types — a 3-tuple of (:class:`AppProfile`,
+      :class:`DesignSpec`, :class:`SimConfig`);
+    * parameter sanity — ``scale > 0`` and ``max_events > 0`` (a zero or
+      negative scale dies deep in trace synthesis otherwise);
+    * cache-keyability — :func:`repro.sim.store.sim_cache_key` must
+      derive, proving the point canonicalizes (and therefore pickles and
+      serializes) cleanly;
+    * duplicate collisions — two points identical *after normalization*
+      (same ``sim_cache_key``) are reported by their colliding indices
+      when ``on_duplicate="error"`` (the strict CLI/confirmer mode: a
+      duplicated grid point is almost always a grid-construction bug).
+      ``on_duplicate="collapse"`` skips that check for callers like
+      :meth:`Runner.run_many` that deliberately collapse duplicates to
+      one simulation.
+
+    On any problem raises :class:`GridValidationError` listing all of
+    them; otherwise returns one ``sim_cache_key`` per point, in order.
+    """
+    if on_duplicate not in ("error", "collapse"):
+        raise ValueError(
+            f"on_duplicate must be 'error' or 'collapse'; got {on_duplicate!r}"
+        )
+    # Local imports: validation is imported by the sanitizer at module
+    # scope, and store/config/profile pull in numpy-heavy modules this
+    # function alone needs.
+    from repro.sim.config import SimConfig
+    from repro.sim.store import sim_cache_key
+    from repro.workloads.profile import AppProfile
+
+    problems: List[str] = []
+    keys: List[str] = []
+    first_at: dict = {}
+    for i, point in enumerate(points):
+        if not (isinstance(point, tuple) and len(point) == 3):
+            problems.append(
+                f"point {i}: expected a (profile, spec, config) triple; "
+                f"got {point!r}"
+            )
+            keys.append("")
+            continue
+        profile, spec, cfg = point
+        bad_type = False
+        for value, cls, role in (
+            (profile, AppProfile, "profile"),
+            (spec, DesignSpec, "spec"),
+            (cfg, SimConfig, "config"),
+        ):
+            if not isinstance(value, cls):
+                problems.append(
+                    f"point {i}: {role} is {type(value).__name__}, "
+                    f"expected {cls.__name__}"
+                )
+                bad_type = True
+        if bad_type:
+            keys.append("")
+            continue
+        if not cfg.scale > 0:
+            problems.append(
+                f"point {i} ({profile.name}/{spec.label}): "
+                f"scale must be > 0; got {cfg.scale!r}"
+            )
+        if not cfg.max_events > 0:
+            problems.append(
+                f"point {i} ({profile.name}/{spec.label}): "
+                f"max_events must be > 0; got {cfg.max_events!r}"
+            )
+        try:
+            key = sim_cache_key(profile, spec, cfg)
+        except TypeError as exc:
+            problems.append(
+                f"point {i} ({profile.name}/{spec.label}): cannot "
+                f"canonicalize for the cache key / pool boundary: {exc}"
+            )
+            keys.append("")
+            continue
+        keys.append(key)
+        if on_duplicate == "error":
+            j = first_at.setdefault(key, i)
+            if j != i:
+                problems.append(
+                    f"point {i} ({profile.name}/{spec.label}) duplicates "
+                    f"point {j} after normalization (identical "
+                    f"sim_cache_key {key[:12]}…)"
+                )
+    if problems:
+        raise GridValidationError(problems)
+    return keys

@@ -1,10 +1,18 @@
-"""Tests for the post-run invariant auditor."""
+"""Tests for the post-run invariant auditor and the sweep-grid
+pre-flight validator."""
+
+import dataclasses
 
 import pytest
 
 from repro.core.designs import DesignSpec
 from repro.sim.system import GPUSystem
-from repro.sim.validation import assert_clean, audit
+from repro.sim.validation import (
+    GridValidationError,
+    assert_clean,
+    audit,
+    validate_grid,
+)
 
 
 class TestAudit:
@@ -133,3 +141,61 @@ class TestAuditFailurePaths:
         msg = str(exc.value)
         assert "still outstanding" in msg
         assert "dram_util_mean" in msg
+
+
+class TestValidateGrid:
+    """Pre-flight validation of resolved (profile, spec, config) grids."""
+
+    @pytest.fixture
+    def point(self, tiny_config, shared_profile):
+        return (shared_profile, DesignSpec.shared(8), tiny_config)
+
+    def test_valid_grid_returns_keys(self, point, tiny_config, shared_profile):
+        other = (shared_profile, DesignSpec.baseline(), tiny_config)
+        keys = validate_grid([point, other])
+        assert len(keys) == 2 and keys[0] != keys[1]
+        assert all(isinstance(k, str) and len(k) == 64 for k in keys)
+
+    def test_non_tuple_point_rejected(self, point):
+        with pytest.raises(GridValidationError, match="triple"):
+            validate_grid([point, "not-a-point"])
+
+    def test_wrong_types_rejected(self, point, tiny_config, shared_profile):
+        bad = (tiny_config, DesignSpec.shared(8), shared_profile)  # swapped
+        with pytest.raises(GridValidationError) as exc:
+            validate_grid([bad])
+        msg = str(exc.value)
+        assert "profile is SimConfig" in msg and "config is AppProfile" in msg
+
+    def test_nonpositive_scale_rejected(self, point):
+        profile, spec, cfg = point
+        bad = (profile, spec, dataclasses.replace(cfg, scale=0.0))
+        with pytest.raises(GridValidationError, match="scale must be > 0"):
+            validate_grid([bad])
+
+    def test_duplicates_rejected_with_indices(self, point, tiny_config,
+                                              shared_profile):
+        other = (shared_profile, DesignSpec.baseline(), tiny_config)
+        with pytest.raises(GridValidationError) as exc:
+            validate_grid([point, other, point])
+        assert "point 2" in str(exc.value) and "duplicates point 0" in str(exc.value)
+        assert "sim_cache_key" in str(exc.value)
+
+    def test_collapse_mode_allows_duplicates(self, point):
+        keys = validate_grid([point, point], on_duplicate="collapse")
+        assert keys[0] == keys[1]
+
+    def test_all_problems_accumulate(self, point, tiny_config, shared_profile):
+        profile, spec, cfg = point
+        bad_scale = (profile, DesignSpec.baseline(),
+                     dataclasses.replace(cfg, scale=-1.0))
+        with pytest.raises(GridValidationError) as exc:
+            validate_grid([point, bad_scale, point, ()])
+        problems = exc.value.problems
+        assert len(problems) == 3  # bad scale + duplicate + bad shape
+        assert any("scale" in p for p in problems)
+        assert any("duplicates" in p for p in problems)
+
+    def test_bad_mode_rejected(self, point):
+        with pytest.raises(ValueError, match="on_duplicate"):
+            validate_grid([point], on_duplicate="whatever")
