@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 1.0
 
-.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow purity shard analyze profile perf-smoke
+.PHONY: install test bench bench-quick figures characterize clean loc lint sanitize-test race flow purity shard heat analyze profile perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -60,14 +60,24 @@ shard:
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard --strict src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard --confirm --scale 0.1
 
-# The full static-analysis pentapod (SimLint + SimRace + SimFlow +
-# SimPure + SimShard) with a unified summary table and combined exit
-# code, then the cheap dynamic confirmations (SimPure mutate-and-replay,
-# SimShard serial/fork/spawn replay).
+# SimHeat: static twin-path drift & hot-path hygiene pass, then a
+# force-fast vs force-slow differential replay (bit-identical
+# fingerprints required) with a tracemalloc allocation profile of the
+# hot handlers.
+heat:
+	PYTHONPATH=src $(PYTHON) -m repro.cli heat --strict src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.cli heat --confirm --scale 0.1
+
+# The full static-analysis hexapod (SimLint + SimRace + SimFlow +
+# SimPure + SimShard + SimHeat) with a unified summary table and
+# combined exit code, then the cheap dynamic confirmations (SimPure
+# mutate-and-replay, SimShard serial/fork/spawn replay, SimHeat
+# force-fast/force-slow differential replay).
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro.cli analyze src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.cli purity --confirm --scale 0.1
 	PYTHONPATH=src $(PYTHON) -m repro.cli shard --confirm --scale 0.1
+	PYTHONPATH=src $(PYTHON) -m repro.cli heat --confirm --scale 0.1 --no-alloc
 
 # Run the simulator-facing test suites with the SimSanitizer ledger on.
 sanitize-test:
@@ -79,8 +89,10 @@ sanitize-test:
 profile:
 	PYTHONPATH=src $(PYTHON) -m repro.cli profile --app T-AlexNet --design Sh40 --scale $(SCALE)
 
-# Engine throughput smoke: fingerprint-gated, timing recorded (not
-# asserted) in benchmarks/results/engine.txt.
+# Engine throughput smoke: fingerprint-gated; timing recorded in
+# benchmarks/results/engine.txt and machine-readably in
+# benchmarks/results/engine.json (the CI perf-regression baseline —
+# commit the refreshed json to re-baseline).
 perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_engine.py -q
 

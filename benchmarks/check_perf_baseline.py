@@ -1,0 +1,99 @@
+"""Perf-regression gate: diff a fresh ``engine.json`` against the
+committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_baseline.py BASELINE.json FRESH.json \
+        [--warn-pct 10] [--fail-pct 25]
+
+Compares ``events_per_s`` per ``(app, design, scale)`` point.  A fresh
+point slower than its baseline by more than ``--warn-pct`` percent gets a
+warning; slower by more than ``--fail-pct`` percent fails the gate (exit
+1).  Speedups and points present on only one side are reported but never
+fail — the baseline is refreshed by committing a new ``engine.json``,
+not by loosening the gate.
+
+Fingerprint hashes are compared too: a mismatch means the two files
+measured *different simulations* and any timing diff is meaningless, so
+that's an immediate failure (exit 2, like usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_perf_baseline: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(doc, dict) or "points" not in doc:
+        print(f"check_perf_baseline: {path} is not an engine.json document",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return doc
+
+
+def _index(doc: dict) -> dict:
+    return {
+        (p["app"], p["design"], p["scale"]): p
+        for p in doc.get("points", [])
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed engine.json")
+    ap.add_argument("fresh", help="freshly measured engine.json")
+    ap.add_argument("--warn-pct", type=float, default=10.0,
+                    help="warn when events/s drops by more than this percent")
+    ap.add_argument("--fail-pct", type=float, default=25.0,
+                    help="fail when events/s drops by more than this percent")
+    args = ap.parse_args(argv)
+
+    base = _index(_load(args.baseline))
+    fresh = _index(_load(args.fresh))
+    exit_code = 0
+    compared = 0
+    for key in sorted(base):
+        app, design, scale = key
+        label = f"{app}/{design} @ scale {scale:g}"
+        if key not in fresh:
+            print(f"  [skip] {label}: not measured in fresh run")
+            continue
+        b, f = base[key], fresh[key]
+        if b.get("fingerprint_sha256") != f.get("fingerprint_sha256"):
+            print(f"  [FAIL] {label}: fingerprint mismatch — timing diff "
+                  "is between different simulations")
+            return 2
+        compared += 1
+        b_eps, f_eps = b["events_per_s"], f["events_per_s"]
+        drop_pct = 100.0 * (b_eps - f_eps) / b_eps if b_eps else 0.0
+        detail = (f"{b_eps:,.0f} -> {f_eps:,.0f} events/s "
+                  f"({-drop_pct:+.1f}%)")
+        if drop_pct > args.fail_pct:
+            print(f"  [FAIL] {label}: {detail}, beyond -{args.fail_pct:g}%")
+            exit_code = 1
+        elif drop_pct > args.warn_pct:
+            print(f"  [warn] {label}: {detail}, beyond -{args.warn_pct:g}%")
+        else:
+            print(f"  [ok]   {label}: {detail}")
+    for key in sorted(set(fresh) - set(base)):
+        app, design, scale = key
+        print(f"  [new]  {app}/{design} @ scale {scale:g}: "
+              f"{fresh[key]['events_per_s']:,.0f} events/s (no baseline)")
+    if not compared:
+        print("check_perf_baseline: no common points to compare", file=sys.stderr)
+        return 2
+    print(f"perf gate: {compared} point(s) compared, "
+          f"{'FAIL' if exit_code else 'ok'}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

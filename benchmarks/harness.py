@@ -1,9 +1,13 @@
 """Shared bench helpers: run an experiment once under pytest-benchmark,
 persist its rendered table, and return the report for shape assertions;
-plus the sweep-engine wall-clock helper used by ``test_bench_sweep.py``."""
+plus the sweep-engine wall-clock helper used by ``test_bench_sweep.py``
+and the machine-readable engine-baseline recorder used by
+``test_bench_engine.py`` (``results/engine.json``, the perf-regression
+gate's committed reference)."""
 
 from __future__ import annotations
 
+import json
 import time
 from typing import List, Optional, Sequence
 
@@ -59,3 +63,60 @@ def bench_sweep(
     print()
     print(record)
     return results
+
+
+#: Schema of ``results/engine.json``.  Bump when the point shape changes
+#: so ``check_perf_baseline.py`` can refuse to diff incompatible files.
+ENGINE_BASELINE_SCHEMA = 1
+
+
+def record_engine_point(
+    results_dir,
+    app: str,
+    design: str,
+    scale: float,
+    events: int,
+    wall_s: float,
+    events_per_s: float,
+    fingerprint_sha256: str,
+) -> dict:
+    """Upsert one measured point into ``results/engine.json``.
+
+    The file is the machine-readable twin of ``engine.txt``: one entry per
+    ``(app, design, scale)`` key, newest measurement wins, deterministic
+    key order and point sort so diffs stay reviewable.  CI diffs a fresh
+    run against the committed copy (``check_perf_baseline.py``) to catch
+    events/s regressions; the fingerprint hash rides along so a perf diff
+    can also prove it compared identical simulations.
+
+    Returns the document that was written.
+    """
+    path = results_dir / "engine.json"
+    doc = {"schema_version": ENGINE_BASELINE_SCHEMA, "points": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if loaded.get("schema_version") == ENGINE_BASELINE_SCHEMA:
+                doc = loaded
+        except (ValueError, OSError):
+            pass  # unreadable baseline: rewrite from scratch
+    key = (app, design, scale)
+    points = [
+        p for p in doc.get("points", [])
+        if (p.get("app"), p.get("design"), p.get("scale")) != key
+    ]
+    points.append({
+        "app": app,
+        "design": design,
+        "scale": scale,
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_s": round(events_per_s, 1),
+        "fingerprint_sha256": fingerprint_sha256,
+    })
+    points.sort(key=lambda p: (p["app"], p["design"], p["scale"]))
+    doc = {"schema_version": ENGINE_BASELINE_SCHEMA, "points": points}
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return doc

@@ -11,7 +11,9 @@ soundness analysis with a dynamic invariance confirmer,
 :mod:`repro.analysis.simpure`), and SimShard (distribution-safety
 analysis of the sweep layer with a serial/fork/spawn replay confirmer,
 :mod:`repro.analysis.simshard`; its runtime complement,
-``validate_grid``, lives in :mod:`repro.sim.validation`).  See
+``validate_grid``, lives in :mod:`repro.sim.validation`), and SimHeat
+(twin-path drift & hot-path performance analysis with a differential
+force-fast/force-slow confirmer, :mod:`repro.analysis.simheat`).  See
 ``docs/analysis.md``."""
 
 from repro.analysis.classify import CharacterizationRow, classify, is_replication_sensitive
@@ -27,6 +29,16 @@ from repro.analysis.simrace import (
     diff_fingerprints,
     race_rule_table,
     run_race,
+)
+from repro.analysis.simheat import (
+    DEFAULT_CONFIRM_GRID,
+    HeatFinding,
+    HeatProbe,
+    HeatReport,
+    confirm_heat,
+    heat_rule_table,
+    heat_source,
+    run_heat,
 )
 from repro.analysis.simpure import (
     DECLARED_ENV_INPUTS,
@@ -88,6 +100,14 @@ __all__ = [
     "purity_rule_table",
     "purity_source",
     "run_purity",
+    "DEFAULT_CONFIRM_GRID",
+    "HeatFinding",
+    "HeatProbe",
+    "HeatReport",
+    "confirm_heat",
+    "heat_rule_table",
+    "heat_source",
+    "run_heat",
     "WORKER_SAFE_GLOBALS",
     "ShardFinding",
     "ShardProbe",

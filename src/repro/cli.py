@@ -18,7 +18,9 @@ The subcommands cover the library's main entry points::
     repro purity --confirm --scale 0.1         # mutate-and-replay confirmation
     repro shard src/repro                      # SimShard distribution safety
     repro shard --confirm --scale 0.1          # serial/fork/spawn replay diff
-    repro analyze src/repro                    # the full pentapod, one table
+    repro heat src/repro                       # SimHeat twin-path/hot-path scan
+    repro heat --confirm --scale 0.1           # force-fast vs force-slow replay
+    repro analyze src/repro                    # the full hexapod, one table
     repro analyze --json src/repro             # machine-readable CI artifact
 
 Installed as the ``repro`` console script; also runnable as
@@ -43,8 +45,9 @@ from repro.workloads.suite import APP_NAMES, get_app
 
 #: Version of the ``repro analyze --json`` report schema.  Bump when the
 #: document's shape changes so downstream consumers (the future SimServe
-#: API, CI artifact differs) can dispatch on it.
-ANALYZE_SCHEMA_VERSION = 1
+#: API, CI artifact differs) can dispatch on it.  v2: the pentapod grew
+#: into a hexapod — a ``simheat`` tool section joined the report.
+ANALYZE_SCHEMA_VERSION = 2
 
 _NAMED_DESIGNS = {
     "baseline": DesignSpec.baseline(),
@@ -116,11 +119,42 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    import json
+
     from repro.sim.profiler import profile_simulation
 
     cfg = SimConfig(scale=args.scale)
     app = get_app(args.app)
-    res, prof = profile_simulation(app, args.design, cfg)
+    res, prof = profile_simulation(app, args.design, cfg,
+                                   trace_alloc=args.alloc)
+    if args.json:
+        # Deterministic shape (handlers sorted by name, not by timing) so
+        # CI can diff the structure across runs; the timing numbers
+        # themselves are wall-clock and vary.
+        rows = sorted(prof.rows(), key=lambda r: r.handler)
+        doc = {
+            "app": app.name,
+            "design": args.design.label,
+            "scale": args.scale,
+            "alloc_traced": bool(args.alloc),
+            "total_events": prof.total_events,
+            "total_self_s": prof.total_self_time,
+            "wall_time_s": res.wall_time_s,
+            "events_per_s": res.events_per_s,
+            "handlers": [
+                {
+                    "handler": r.handler,
+                    "events": r.events,
+                    "self_s": r.self_s,
+                    "pct": r.pct,
+                    "us_per_event": r.us_per_event,
+                    "alloc_b_per_event": r.alloc_b_per_event,
+                }
+                for r in rows
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(f"{app.name} @ {args.design.label}, scale {args.scale:g}")
     print(prof.render(top=args.top))
     print(
@@ -515,11 +549,83 @@ def _cmd_shard(args) -> int:
     return exit_code
 
 
+def _cmd_heat(args) -> int:
+    import os
+
+    from repro.analysis.simheat import (
+        DEFAULT_CONFIRM_GRID,
+        confirm_heat,
+        heat_rule_table,
+        run_heat,
+    )
+    from repro.analysis.simlint import Severity
+
+    if args.list_rules:
+        for rule_id, severity, title in heat_rule_table():
+            print(f"{rule_id}  {severity:<7}  {title}")
+        return 0
+    if args.select:
+        known = {rule_id for rule_id, _, _ in heat_rule_table()}
+        unknown = [r for r in args.select if r not in known]
+        if unknown:
+            print(
+                f"simheat: unknown rule(s) {', '.join(unknown)} "
+                f"(see `repro heat --list-rules`)",
+                file=sys.stderr,
+            )
+            return 2
+    run_static = args.static or not args.confirm
+    exit_code = 0
+    findings = []
+    if run_static:
+        paths = args.paths
+        if not paths:
+            paths = [os.path.dirname(os.path.abspath(__file__))]
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            print(f"simheat: no such path: {', '.join(missing)}", file=sys.stderr)
+            return 2
+        findings = run_heat(paths, select=args.select or None)
+        for f in findings:
+            print(f.format())
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        if findings:
+            print(
+                f"simheat: {errors} error(s), {warnings} warning(s)",
+                file=sys.stderr,
+            )
+        if errors or (args.strict and findings):
+            exit_code = 1
+    if args.confirm:
+        grid = list(DEFAULT_CONFIRM_GRID)
+        if args.grid:
+            grid = []
+            for entry in args.grid:
+                app_name, _, design = entry.partition("/")
+                if not design:
+                    print(
+                        f"simheat: bad --grid entry {entry!r} "
+                        "(expected APP/DESIGN, e.g. P-2MM/Sh40+C10)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                parse_design(design)  # fail fast on unknown designs
+                grid.append((app_name, design))
+        report = confirm_heat(grid=grid, scale=args.scale,
+                              trace_alloc=not args.no_alloc)
+        print(report.render(findings))
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_analyze(args) -> int:
     import json
     import os
 
     from repro.analysis.simflow import run_flow
+    from repro.analysis.simheat import run_heat
     from repro.analysis.simlint import Severity, run_lint
     from repro.analysis.simpure import run_purity
     from repro.analysis.simrace import run_race
@@ -538,6 +644,7 @@ def _cmd_analyze(args) -> int:
         ("simflow", "resource-flow liveness", run_flow),
         ("simpure", "cache-key & fingerprint soundness", run_purity),
         ("simshard", "distribution safety", run_shard),
+        ("simheat", "twin-path & hot-path hygiene", run_heat),
     )
     rows = []
     report = []
@@ -626,6 +733,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--top", type=int, default=0,
                    help="limit the table to the N hottest handlers (0 = all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one deterministic per-handler JSON document on "
+                        "stdout (handlers sorted by name) instead of the table")
+    p.add_argument("--alloc", action="store_true",
+                   help="also attribute net heap allocation to each handler "
+                        "via tracemalloc (substantial slowdown; timing "
+                        "numbers are not comparable to plain profiles)")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("characterize", help="Figure 1 classification of the suite")
@@ -760,10 +874,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser(
+        "heat",
+        help="SimHeat: twin-path drift & hot-path performance hygiene "
+             "(static AST pass and/or force-fast vs force-slow replay "
+             "confirmation)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories for --static (default: the repro package)")
+    p.add_argument("--static", action="store_true",
+                   help="run the static twin-path drift / hot-path pass "
+                        "(default when --confirm is not given)")
+    p.add_argument("--confirm", action="store_true",
+                   help="replay a small grid with the hot path forced on and "
+                        "forced off, requiring bit-identical fingerprints, "
+                        "and alloc-profile the hot handlers")
+    p.add_argument("--grid", action="append", metavar="APP/DESIGN",
+                   help="grid point for --confirm, e.g. P-2MM/Sh40+C10 "
+                        "(repeatable; default: T-AlexNet/Sh40, "
+                        "P-2MM/Sh40+C10, C-SP/Pr40, C-BLK/Baseline)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="workload scale for --confirm")
+    p.add_argument("--no-alloc", action="store_true",
+                   help="skip the tracemalloc allocation profile in --confirm "
+                        "(twin replays only; much faster)")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="only run the given SH rule ID (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not only errors")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered SimHeat rules and exit")
+    p.set_defaults(func=_cmd_heat)
+
+    p = sub.add_parser(
         "analyze",
-        help="run the full static-analysis pentapod (lint + race + flow "
-             "+ purity + shard) with a unified summary table and combined "
-             "exit code",
+        help="run the full static-analysis hexapod (lint + race + flow "
+             "+ purity + shard + heat) with a unified summary table and "
+             "combined exit code",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to analyze (default: the repro package)")

@@ -17,6 +17,14 @@ from __future__ import annotations
 
 from repro.sim.resources import ServerGroup
 
+# SimHeat twin-path manifest: ``traverse_fast`` hand-inlines the two port
+# reservations, so the analyzer matches each inlined block against the
+# ``Server.reserve_fast`` template ("inline" mode) and requires one block
+# per ``.reserve(`` call in the slow twin.
+FAST_PATH_PAIRS = [
+    ("Crossbar.traverse_fast", "Crossbar.traverse", "inline", {}),
+]
+
 
 class Crossbar:
     """Timing model of one ``num_in x num_out`` crossbar."""

@@ -57,6 +57,13 @@ _INF = math.inf
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+# SimHeat hot-function manifest: functions in this module that run once
+# per event on production runs and are therefore held to the hot-path
+# hygiene rules (SH611-SH615).  The diagnostic loops (_drain_shuffled,
+# _drain_watched, _drain_profiled*) are deliberately absent — they trade
+# speed for observability by design.
+SIMHEAT_HOT_FUNCTIONS = ("Engine.schedule", "Engine._drain_plain")
+
 
 class Engine:
     """Minimal deterministic discrete-event simulator."""
@@ -214,7 +221,10 @@ class Engine:
             elif self._watchdog is not None:
                 self._drain_watched(deadline)
             elif self._profiler is not None:
-                self._drain_profiled(deadline)
+                if getattr(self._profiler, "trace_alloc", False):
+                    self._drain_profiled_alloc(deadline)
+                else:
+                    self._drain_profiled(deadline)
             else:
                 self._drain_plain(deadline)
         finally:
@@ -310,6 +320,51 @@ class Engine:
                 else:
                     counts[key] = 1
                     self_time[key] = dt
+                n += 1
+                if n > budget:
+                    raise self._budget_error()
+        finally:
+            prof.wall_time += clock() - t_enter
+            self.events_processed = n
+
+    def _drain_profiled_alloc(self, deadline: float) -> None:
+        """Profiled drain that additionally attributes heap allocation to
+        handlers via :mod:`tracemalloc` (SimHeat's dynamic half of the
+        SH611/SH614 rules).  The caller (``profile_simulation``) owns
+        tracemalloc start/stop; this loop only samples the traced-memory
+        counter around each callback.  Same event order as the plain loop.
+        """
+        import tracemalloc
+
+        heap = self._heap
+        pop = _heappop
+        prof = self._profiler
+        counts = prof.counts
+        self_time = prof.self_time
+        alloc_bytes = prof.alloc_bytes
+        clock = prof.clock
+        traced = tracemalloc.get_traced_memory
+        budget = self.max_events
+        n = self.events_processed
+        t_enter = clock()
+        try:
+            while heap and heap[0][0] <= deadline:
+                time, _prio, _seq, callback, payload = pop(heap)
+                self.now = time
+                key = getattr(callback, "__func__", callback)
+                a0 = traced()[0]
+                t0 = clock()
+                callback(payload)
+                dt = clock() - t0
+                da = traced()[0] - a0
+                if key in counts:
+                    counts[key] += 1
+                    self_time[key] += dt
+                    alloc_bytes[key] += da
+                else:
+                    counts[key] = 1
+                    self_time[key] = dt
+                    alloc_bytes[key] = da
                 n += 1
                 if n > budget:
                     raise self._budget_error()

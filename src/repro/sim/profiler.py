@@ -38,21 +38,31 @@ class ProfileRow:
     self_s: float
     pct: float
     us_per_event: float
+    # Net traced heap bytes per event (0.0 unless the profiler ran with
+    # trace_alloc; negative means the handler freed more than it allocated,
+    # e.g. the pooled-completion path returning requests to the free list).
+    alloc_b_per_event: float = 0.0
 
 
 class EventProfiler:
     """Accumulates per-handler event counts and self-time.
 
     ``clock`` defaults to the highest-resolution monotonic wall clock;
-    tests may inject a deterministic fake.
+    tests may inject a deterministic fake.  With ``trace_alloc=True`` the
+    engine selects the tracemalloc-sampling drain loop and fills
+    :attr:`alloc_bytes` with net traced bytes per handler (SimHeat's
+    pooled-lifecycle evidence); the caller must have tracemalloc running.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 trace_alloc: bool = False):
         self.clock: Callable[[], float] = (
             clock if clock is not None else _time.perf_counter
         )
+        self.trace_alloc = trace_alloc
         self.counts: Dict[Any, int] = {}
         self.self_time: Dict[Any, float] = {}
+        self.alloc_bytes: Dict[Any, int] = {}
         # Total wall time spent inside the profiled drain loop (includes
         # heap churn and dispatch overhead, not just handler bodies).
         self.wall_time = 0.0
@@ -84,6 +94,9 @@ class EventProfiler:
                     self_s=self_s,
                     pct=(100.0 * self_s / total) if total > 0.0 else 0.0,
                     us_per_event=(1e6 * self_s / count) if count else 0.0,
+                    alloc_b_per_event=(
+                        self.alloc_bytes.get(key, 0) / count if count else 0.0
+                    ),
                 )
             )
         out.sort(key=lambda r: (-r.self_s, r.handler))
@@ -94,16 +107,22 @@ class EventProfiler:
         rows = self.rows()
         if top > 0:
             rows = rows[:top]
+        with_alloc = bool(self.alloc_bytes)
         width = max([len("handler")] + [len(r.handler) for r in rows])
-        lines = [
-            f"{'handler':<{width}}  {'events':>10}  {'self(s)':>9}  {'%':>6}  {'us/ev':>8}",
-            f"{'-' * width}  {'-' * 10}  {'-' * 9}  {'-' * 6}  {'-' * 8}",
-        ]
+        header = f"{'handler':<{width}}  {'events':>10}  {'self(s)':>9}  {'%':>6}  {'us/ev':>8}"
+        rule = f"{'-' * width}  {'-' * 10}  {'-' * 9}  {'-' * 6}  {'-' * 8}"
+        if with_alloc:
+            header += f"  {'B/ev':>8}"
+            rule += f"  {'-' * 8}"
+        lines = [header, rule]
         for r in rows:
-            lines.append(
+            line = (
                 f"{r.handler:<{width}}  {r.events:>10}  {r.self_s:>9.3f}  "
                 f"{r.pct:>6.1f}  {r.us_per_event:>8.2f}"
             )
+            if with_alloc:
+                line += f"  {r.alloc_b_per_event:>8.1f}"
+            lines.append(line)
         lines.append(
             f"{'total':<{width}}  {self.total_events:>10}  "
             f"{self.total_self_time:>9.3f}  {100.0 if rows else 0.0:>6.1f}  "
@@ -117,18 +136,33 @@ class EventProfiler:
         return "\n".join(lines)
 
 
-def profile_simulation(workload, spec, config=None, clock=None):
+def profile_simulation(workload, spec, config=None, clock=None,
+                       trace_alloc=False):
     """Run one simulation under the profiler.
 
     Returns ``(result, profiler)``; the result's fingerprint is
     bit-identical to an unprofiled run of the same config.  Imports the
     system lazily — the profiler itself has no simulator dependencies, so
     the engine can import this module without a cycle.
+
+    ``trace_alloc=True`` additionally attributes net heap allocation to
+    each handler via :mod:`tracemalloc` (started/stopped here; substantial
+    slowdown, diagnostic use only — timing numbers from such a run are
+    not comparable to plain profiles).
     """
     from repro.sim.system import GPUSystem
 
     system = GPUSystem(workload, spec, config)
-    profiler = EventProfiler(clock)
+    profiler = EventProfiler(clock, trace_alloc=trace_alloc)
     system.engine.attach_profiler(profiler)
-    result = system.run()
+    if trace_alloc:
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            result = system.run()
+        finally:
+            tracemalloc.stop()
+    else:
+        result = system.run()
     return result, profiler

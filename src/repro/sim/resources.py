@@ -21,6 +21,15 @@ halves it again.
 
 from __future__ import annotations
 
+# SimHeat twin-path manifest (see docs/analysis.md): every fast variant in
+# this module and its canonical slow twin, plus the comparison mode the
+# analyzer applies.  "lockstep" means the two bodies must match statement
+# for statement once the declared elidable instrumentation (owner/ledger
+# hooks) is removed.
+FAST_PATH_PAIRS = [
+    ("Server.reserve_fast", "Server.reserve", "lockstep", {}),
+]
+
 
 class Server:
     """A single pipelined resource with occupancy-based contention.

@@ -83,6 +83,21 @@ _STORE = int(AccessKind.STORE)
 _ATOMIC = int(AccessKind.ATOMIC)
 _BYPASS = int(AccessKind.BYPASS)
 
+# SimHeat twin-path manifest: the issue-path split is a *specialization*
+# (the fast side handles LOADs only), so the analyzer checks that every
+# handler the fast side schedules is also scheduled by the slow twin, that
+# assignments both sides make to the same request fields agree, and that
+# counter updates differ only by the declared slow-only kinds.
+FAST_PATH_PAIRS = [
+    ("GPUSystem._issue_load_fast", "GPUSystem._issue_cold", "specialized",
+     {"slow_only_counters": ["_n_stores", "_n_atomics", "_n_bypasses"]}),
+]
+
+# SimHeat SH614 allowlist: self-rooted containers a pooled MemoryRequest
+# may legitimately enter — the free list itself, and the Q1 credit queue
+# whose entries are always drained back into the lifecycle.
+SIMHEAT_REQUEST_SAFE_SINKS = ("_req_pool", "_node_waiters")
+
 
 class GPUSystem:
     """One runnable simulation instance (single-use: build, run, read)."""
@@ -163,6 +178,12 @@ class GPUSystem:
         if self.cfg.watchdog:
             self._attach_watchdog()
 
+        # SimHeat differential-confirmer knob (see force_slow_path): when
+        # set, _wire_hot_path keeps the instrumented slow twins even with
+        # no ledger attached.  Deliberately *not* a SimConfig field — it
+        # must never perturb sim_cache_key or the fingerprint contract.
+        self._force_slow = False
+
         # Resolve the fast/slow hot-path split — must run last: it
         # captures the post-attach engine.schedule and keys everything
         # on whether a ledger ended up attached.
@@ -175,7 +196,7 @@ class GPUSystem:
         methods they replace, so every handler has exactly one code shape;
         which implementation runs was decided here, not per event.
         """
-        self._fast = self._ledger is None
+        self._fast = self._ledger is None and not self._force_slow
         # Captures the sanitizer-checked wrapper when a ledger swapped it
         # in.  Named ``schedule`` (not ``_schedule``) on purpose: the
         # static analyzers (SimFlow/SimRace/SimLint) recognize scheduling
@@ -215,6 +236,19 @@ class GPUSystem:
         self._n_bypassed_fills = 0
         self._rtt_sum = 0.0
         self._rtt_count = 0
+
+    def force_slow_path(self) -> None:
+        """Re-wire the system onto the instrumented slow twins (SimHeat's
+        differential confirmer).  Safe before the first event: all batched
+        counters are still zero, and the slow twins run correctly with no
+        ledger attached (``_note`` no-ops, ``_issue_cold`` skips the
+        acquire, the owner mirror on ``reserve`` is inert).  The resulting
+        run must be bit-identical to the fast wiring — that identity *is*
+        the twin-path contract."""
+        if self._ran:
+            raise RuntimeError("force_slow_path() must be called before run()")
+        self._force_slow = True
+        self._wire_hot_path()
 
     def _attach_watchdog(self) -> None:
         if self._ledger is None:

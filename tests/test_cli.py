@@ -68,6 +68,25 @@ class TestParser:
         assert args.jobs == 3
         assert args.static is False
 
+    def test_heat_args(self):
+        args = build_parser().parse_args(
+            ["heat", "--confirm", "--grid", "P-2MM/Sh40+C10", "--scale", "0.1",
+             "--no-alloc"]
+        )
+        assert args.confirm is True
+        assert args.grid == ["P-2MM/Sh40+C10"]
+        assert args.scale == 0.1
+        assert args.no_alloc is True
+        assert args.static is False
+
+    def test_profile_json_and_alloc_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "--app", "P-2MM", "--json", "--alloc"]
+        )
+        assert args.json is True and args.alloc is True
+        plain = build_parser().parse_args(["profile", "--app", "P-2MM"])
+        assert plain.json is False and plain.alloc is False
+
     def test_analyze_json_flag(self):
         args = build_parser().parse_args(["analyze", "--json", "src"])
         assert args.json is True

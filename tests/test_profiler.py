@@ -81,3 +81,79 @@ def test_render_contains_table_and_footer():
 def test_render_empty_profile_does_not_crash():
     text = EventProfiler().render()
     assert "handler" in text
+
+
+# --------------------------------------------------- allocation attribution
+
+
+def _run_alloc_profiled(prof: EventProfiler) -> None:
+    """Two handlers with very different allocation appetites."""
+    import tracemalloc
+
+    eng = Engine()
+    eng.attach_profiler(prof)
+    keep = []
+
+    def hungry(_):
+        keep.append(bytearray(64 * 1024))
+
+    def frugal(_):
+        pass
+
+    for t in (1.0, 2.0, 3.0):
+        eng.schedule(t, hungry, None)
+    eng.schedule(4.0, frugal, None)
+    tracemalloc.start()
+    try:
+        eng.run()
+    finally:
+        tracemalloc.stop()
+
+
+def test_trace_alloc_attributes_bytes_per_handler():
+    prof = EventProfiler(clock=_FakeClock(), trace_alloc=True)
+    _run_alloc_profiled(prof)
+    assert prof.total_events == 4
+    by_name = {r.handler: r for r in prof.rows()}
+    hungry = next(r for name, r in by_name.items() if "hungry" in name)
+    frugal = next(r for name, r in by_name.items() if "frugal" in name)
+    # Each hungry event retains a 64 KiB bytearray; tracemalloc should
+    # attribute at least that much net growth to each event.
+    assert hungry.alloc_b_per_event >= 64 * 1024
+    assert frugal.alloc_b_per_event < 1024
+    # Timing attribution still works in the alloc-tracing drain.
+    assert hungry.events == 3 and frugal.events == 1
+    assert prof.total_self_time > 0.0
+
+
+def test_trace_alloc_off_leaves_alloc_columns_zero():
+    prof = EventProfiler(clock=_FakeClock())
+    _run_profiled(prof)
+    assert prof.alloc_bytes == {}
+    assert all(r.alloc_b_per_event == 0.0 for r in prof.rows())
+    assert "B/ev" not in prof.render()
+
+
+def test_render_grows_alloc_column_when_traced():
+    prof = EventProfiler(clock=_FakeClock(), trace_alloc=True)
+    _run_alloc_profiled(prof)
+    text = prof.render()
+    assert "B/ev" in text
+
+
+def test_profile_simulation_trace_alloc_is_bit_identical():
+    from repro.core.designs import DesignSpec
+    from repro.sim.config import SimConfig
+    from repro.sim.profiler import profile_simulation
+    from repro.workloads.suite import get_app
+
+    app = get_app("P-2MM")
+    spec = DesignSpec.shared(40)
+    cfg = SimConfig(scale=0.05)
+    plain, _ = profile_simulation(app, spec, cfg)
+    traced, prof = profile_simulation(app, spec, cfg, trace_alloc=True)
+    assert traced.fingerprint() == plain.fingerprint()
+    # Scheduling itself allocates (heap tuples), so every handler that
+    # ran should have an attribution entry.
+    assert prof.alloc_bytes
+    assert set(prof.alloc_bytes) == set(prof.counts)

@@ -40,12 +40,18 @@ GOLDEN = {
         "41fd6bac713880cf23a42798c89f33ca9c4993d2b7ed7949b0db33c75cbf727a",
     ("C-NN", "Pr40", 0.1):
         "3d7420f339d77165d82b1d6bfd1e37a47a83d9921a589796dfa392d6cd8538e4",
+    # Decoupled clustered point (exercises the closure-mode fast homing
+    # and the clustered crossbar route twins); captured when SimHeat
+    # landed, after force_slow_path() verified fast == slow bit-exactly.
+    ("C-SP", "Sh40+C10", 0.1):
+        "1ecc857dbe6d98ba36ad8122f1dce347a78e24c2679ddfc7938688327321a512",
 }
 
 DESIGNS = {
     "Baseline": DesignSpec.baseline(),
     "Sh40": DesignSpec.shared(40),
     "Pr40": DesignSpec.private(40),
+    "Sh40+C10": DesignSpec.clustered(40, 10),
     "Sh40+C10+Boost": DesignSpec.clustered(40, 10, boost=2.0),
 }
 
@@ -186,6 +192,53 @@ def test_fast_home_of_matches_home_of():
         for core in (0, 3, sys_.cfg.gpu.num_cores - 1):
             for line in (0, 1, 39, 40, 41, 12345):
                 assert fast(core, line) == sys_.home.home_of(core, line)
+
+
+# ------------------------------------------------- forced slow-path parity
+#
+# GPUSystem.force_slow_path() is SimHeat's differential-confirmer knob:
+# it unwires the hot path without touching SimConfig (so the cache key
+# and fingerprint inputs are untouched) and the slow twins carry the
+# whole simulation.  Fast and forced-slow runs must be bit-identical for
+# every access kind the issue path dispatches on.
+
+
+def _twin_hashes(app, spec, scale=0.05):
+    cfg = SimConfig(scale=scale)
+    fast = GPUSystem(app, spec, cfg).run()
+    slow_sys = GPUSystem(app, spec, cfg)
+    slow_sys.force_slow_path()
+    slow = slow_sys.run()
+    return fingerprint_hash(fast), fingerprint_hash(slow)
+
+
+def test_forced_slow_path_parity_store_heavy():
+    # C-SP's store fraction drives the STORE branch of _issue_cold.
+    fast, slow = _twin_hashes(get_app("C-SP"), DesignSpec.shared(40))
+    assert fast == slow
+
+
+def test_forced_slow_path_parity_atomic_and_bypass():
+    import dataclasses
+
+    app = dataclasses.replace(
+        get_app("P-2MM"), atomic_fraction=0.05, bypass_fraction=0.05
+    )
+    fast, slow = _twin_hashes(app, DesignSpec.clustered(40, 10))
+    assert fast == slow
+
+
+def test_forced_slow_path_parity_decoupled_design():
+    fast, slow = _twin_hashes(get_app("T-AlexNet"), DesignSpec.cdxbar())
+    assert fast == slow
+
+
+def test_force_slow_path_rejected_after_run():
+    sys_ = GPUSystem(get_app("P-2MM"), DesignSpec.shared(40),
+                     SimConfig(scale=0.05))
+    sys_.run()
+    with pytest.raises(RuntimeError):
+        sys_.force_slow_path()
 
 
 def test_memory_request_reinit_resets_every_slot():
