@@ -4,18 +4,37 @@ committed baseline.
 Usage::
 
     python benchmarks/check_perf_baseline.py BASELINE.json FRESH.json \
-        [--warn-pct 10] [--fail-pct 25]
+        [--warn-pct 10] [--fail-pct 25] [--allow-missing]
 
 Compares ``events_per_s`` per ``(app, design, scale)`` point.  A fresh
 point slower than its baseline by more than ``--warn-pct`` percent gets a
 warning; slower by more than ``--fail-pct`` percent fails the gate (exit
-1).  Speedups and points present on only one side are reported but never
-fail — the baseline is refreshed by committing a new ``engine.json``,
-not by loosening the gate.
+1).  Speedups and fresh-only points are reported but never fail — the
+baseline is refreshed by committing a new ``engine.json``, not by
+loosening the gate.
+
+A baseline point that the fresh run did *not* measure fails the gate
+(exit 1): a point silently dropping out of the bench is exactly how a
+perf regression escapes unnoticed.  Pass ``--allow-missing`` to restore
+the old report-and-continue behaviour when intentionally benching a
+subset.
+
+Gate-configuration errors exit 2, distinct from a perf failure:
+
+* unreadable or non-``engine.json`` inputs;
+* ``schema_version`` differing between baseline and fresh — the two
+  files were written by different recorders and field semantics may not
+  line up;
+* a baseline point with ``events_per_s`` absent or <= 0 — a drop can
+  never be computed against it, so every comparison would silently pass;
+* ``--warn-pct`` greater than ``--fail-pct`` — the warn band would
+  swallow the fail band;
+* no common points compared (unless every miss was ``--allow-missing``-d
+  away deliberately... even then, comparing nothing is not a pass).
 
 Fingerprint hashes are compared too: a mismatch means the two files
 measured *different simulations* and any timing diff is meaningless, so
-that's an immediate failure (exit 2, like usage errors).
+that's an immediate exit 2 as well.
 """
 
 from __future__ import annotations
@@ -54,26 +73,55 @@ def main(argv=None) -> int:
                     help="warn when events/s drops by more than this percent")
     ap.add_argument("--fail-pct", type=float, default=25.0,
                     help="fail when events/s drops by more than this percent")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="report baseline points absent from the fresh run "
+                         "instead of failing on them")
     args = ap.parse_args(argv)
 
-    base = _index(_load(args.baseline))
-    fresh = _index(_load(args.fresh))
+    if args.warn_pct > args.fail_pct:
+        print(f"check_perf_baseline: --warn-pct ({args.warn_pct:g}) must not "
+              f"exceed --fail-pct ({args.fail_pct:g})", file=sys.stderr)
+        return 2
+
+    base_doc = _load(args.baseline)
+    fresh_doc = _load(args.fresh)
+    if base_doc.get("schema_version") != fresh_doc.get("schema_version"):
+        print(f"check_perf_baseline: schema_version mismatch — baseline "
+              f"{base_doc.get('schema_version')!r} vs fresh "
+              f"{fresh_doc.get('schema_version')!r}", file=sys.stderr)
+        return 2
+
+    base = _index(base_doc)
+    fresh = _index(fresh_doc)
     exit_code = 0
     compared = 0
     for key in sorted(base):
         app, design, scale = key
         label = f"{app}/{design} @ scale {scale:g}"
         if key not in fresh:
-            print(f"  [skip] {label}: not measured in fresh run")
+            if args.allow_missing:
+                print(f"  [skip] {label}: not measured in fresh run "
+                      "(--allow-missing)")
+            else:
+                print(f"  [FAIL] {label}: not measured in fresh run — a "
+                      "baseline point the bench no longer covers is an "
+                      "unguarded regression surface")
+                exit_code = 1
             continue
         b, f = base[key], fresh[key]
         if b.get("fingerprint_sha256") != f.get("fingerprint_sha256"):
             print(f"  [FAIL] {label}: fingerprint mismatch — timing diff "
                   "is between different simulations")
             return 2
+        b_eps = b.get("events_per_s")
+        f_eps = f.get("events_per_s", 0.0)
+        if not isinstance(b_eps, (int, float)) or b_eps <= 0:
+            print(f"check_perf_baseline: baseline point {label} has "
+                  f"events_per_s={b_eps!r}; no drop is computable against "
+                  "it, so the gate cannot guard this point", file=sys.stderr)
+            return 2
         compared += 1
-        b_eps, f_eps = b["events_per_s"], f["events_per_s"]
-        drop_pct = 100.0 * (b_eps - f_eps) / b_eps if b_eps else 0.0
+        drop_pct = 100.0 * (b_eps - f_eps) / b_eps
         detail = (f"{b_eps:,.0f} -> {f_eps:,.0f} events/s "
                   f"({-drop_pct:+.1f}%)")
         if drop_pct > args.fail_pct:
@@ -89,7 +137,9 @@ def main(argv=None) -> int:
               f"{fresh[key]['events_per_s']:,.0f} events/s (no baseline)")
     if not compared:
         print("check_perf_baseline: no common points to compare", file=sys.stderr)
-        return 2
+        # missing-point failures keep their perf-failure exit code; a
+        # clean-but-empty comparison is a gate-configuration error
+        return exit_code or 2
     print(f"perf gate: {compared} point(s) compared, "
           f"{'FAIL' if exit_code else 'ok'}")
     return exit_code

@@ -1,10 +1,13 @@
 """Discrete-event engine.
 
-A deliberately small event loop: a binary heap of ``(time, priority, seq,
-callback, payload)`` tuples.  Timestamp ties are broken first by the
+A deliberately small event loop built around a *bucket queue*: a binary
+heap of distinct ``(time, priority)`` keys plus a dict mapping each key to
+its FIFO bucket of pending ``(callback, payload)`` entries (stored flat as
+``[cb0, p0, cb1, p1, ...]``).  Timestamp ties are broken first by the
 optional integer ``priority`` (lower runs first; default 0) and then by
-the monotonically increasing ``seq`` (FIFO among simultaneous events),
-which keeps every simulation bit-reproducible for a given workload seed.
+insertion order — appending to the bucket *is* the FIFO tie-break, so the
+old per-event ``seq`` counter is structural now instead of stored.  Every
+simulation stays bit-reproducible for a given workload seed.
 
 ``priority`` exists so that handlers with a *semantically required*
 same-cycle order (e.g. release a queue credit before the co-scheduled
@@ -12,35 +15,55 @@ acquire sees it) can declare that order explicitly instead of relying on
 the textual order of ``schedule()`` calls — the fragile implicit contract
 SimRace (:mod:`repro.analysis.simrace`) exists to police.
 
-Hot-path architecture (SimTurbo)
---------------------------------
+Ordering contract of the bucket queue
+-------------------------------------
+Identical to the flat ``(time, priority, seq)`` heap it replaced, with one
+sharpened clause: events scheduled at the key *currently being drained*
+open a fresh bucket that runs after the current one completes — exactly
+where their higher seq numbers would have put them — but a handler must
+never schedule at ``(now, priority < current)``, which the flat heap would
+have interleaved into the current batch's remainder.  No handler in this
+model can: every resource hop has strictly positive occupancy, so every
+follow-on event lands strictly later or at equal time with equal-or-higher
+priority.  The shadow-shuffle drain (SimRace's dynamic confirmer) exists
+precisely to catch simulations that depend on same-cycle accidents.
+
+Hot-path architecture (SimTurbo / SimVec)
+-----------------------------------------
 The engine serves two masters: multi-hundred-thousand-event production
 runs that should spend every cycle in model callbacks, and instrumented
 diagnostic runs (sanitizer / watchdog / shadow-shuffle / profiler) that
 trade speed for observability.  The split is resolved **once, at attach
 time**, never per event:
 
-* :meth:`schedule` is the lean fast path — validate, push, bump seq.
-  :meth:`attach_sanitizer` hot-swaps in :meth:`_schedule_checked`, a
-  slow-path wrapper that additionally flags scheduling after the queue
-  drained; detaching (``attach_sanitizer(None)``) restores the fast one.
+* :meth:`schedule` is the lean fast path — validate, bucket-append (one
+  heap push per *distinct* key, not per event).  :meth:`attach_sanitizer`
+  hot-swaps in :meth:`_schedule_checked`, a slow-path wrapper that
+  additionally flags scheduling after the queue drained; detaching
+  (``attach_sanitizer(None)``) restores the fast one.
 * :meth:`run` and :meth:`run_until` both funnel into :meth:`_drain`, the
   single instrumentation-dispatch point.  It picks exactly one drain
-  loop (shuffle > watchdog > profiler > plain) so ``run_until`` gets the
-  same instrumentation as ``run`` and the event-budget check lives in
-  one place instead of four copy-pasted loops.
-* Every drain loop localizes the heap, ``heappop`` and the event counter
-  and flushes the counter back in a ``finally`` — exceptions (budget,
-  stall) never lose the count.
+  loop (shuffle > watchdog > profiler > batched > plain) so ``run_until``
+  gets the same instrumentation as ``run`` and the event-budget check
+  lives in one place instead of five copy-pasted loops.
+* Every drain loop localizes the heap, the bucket dict and the event
+  counter and flushes the counter back in a ``finally`` — exceptions
+  (budget, stall) never lose the count, and a bucket interrupted
+  mid-drain re-queues its unprocessed remainder so no event is lost.
+* SimVec batched dispatch (:meth:`register_batch_handler`): maximal runs
+  of consecutive same-callback entries within one bucket are handed to
+  the handler's batch twin as a single call instead of one call per
+  event.  A bucket *is* the same-``(time, priority)`` batch, so run
+  detection is a flat scan — no heap peeking.
 
 The engine also implements SimRace's dynamic half: constructing it with a
-``shuffle_seed`` enables *shadow shuffle* mode, where each batch of events
-sharing one ``(time, priority)`` key has its distinct-handler blocks
-deterministically permuted before execution (FIFO order is preserved
-*within* each handler, and across different priorities).  A simulation
-whose results change under shuffle depends on accidental schedule-call
-order — a same-cycle ordering hazard.  Co-scheduled handler pairs are
-recorded in :attr:`Engine.batch_pairs` for attribution.
+``shuffle_seed`` enables *shadow shuffle* mode, where each bucket has its
+distinct-handler blocks deterministically permuted before execution (FIFO
+order is preserved *within* each handler, and across different
+priorities).  A simulation whose results change under shuffle depends on
+accidental schedule-call order — a same-cycle ordering hazard.
+Co-scheduled handler pairs are recorded in :attr:`Engine.batch_pairs` for
+attribution.
 
 The engine knows nothing about GPUs; :mod:`repro.sim.system` schedules
 request-lifecycle callbacks onto it.
@@ -62,15 +85,23 @@ _heappop = heapq.heappop
 # hygiene rules (SH611-SH615).  The diagnostic loops (_drain_shuffled,
 # _drain_watched, _drain_profiled*) are deliberately absent — they trade
 # speed for observability by design.
-SIMHEAT_HOT_FUNCTIONS = ("Engine.schedule", "Engine._drain_plain")
+SIMHEAT_HOT_FUNCTIONS = (
+    "Engine.schedule",
+    "Engine.schedule_batch",
+    "Engine._drain_plain",
+    "Engine._drain_batched",
+)
 
 
 class Engine:
     """Minimal deterministic discrete-event simulator."""
 
     def __init__(self, max_events: int = 500_000_000, shuffle_seed: Optional[int] = None):
+        # Bucket queue: heap of distinct (time, priority) keys; dict of
+        # key -> flat FIFO bucket [cb0, p0, cb1, p1, ...].  Invariant: a
+        # key is in the heap iff it is in the dict (each exactly once).
         self._heap: list = []
-        self._seq = 0
+        self._buckets: dict = {}
         self.now = 0.0
         self.events_processed = 0
         self.max_events = max_events
@@ -93,6 +124,13 @@ class Engine:
         self._watchdog = None
         # Per-handler event profiler (see repro.sim.profiler).
         self._profiler = None
+        # SimVec batched dispatch: underlying handler function (__func__
+        # of the scheduled bound method) -> batch twin taking a run view
+        # ``(bucket, start, stop)``.  When non-empty (and no
+        # instrumentation outranks it), _drain dispatches to
+        # _drain_batched, which hands maximal same-bucket same-handler
+        # runs to the twin as one call.
+        self._batch_handlers: Dict[Any, Callable[[list, int, int], None]] = {}
 
     def attach_sanitizer(self, ledger) -> None:
         """Attach a :class:`repro.analysis.sanitizer.ResourceLedger`.
@@ -149,9 +187,16 @@ class Engine:
                 f"cannot schedule event at {time!r} (now={self.now}): "
                 "event times must be finite and not in the past"
             )
-        seq = self._seq
-        self._seq = seq + 1
-        _heappush(self._heap, (time, priority, seq, callback, payload))
+        key = (time, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            # One two-entry bucket per distinct key; amortized across every
+            # later same-key event, which is a pure dict-hit append.
+            self._buckets[key] = [callback, payload]  # simheat: disable=SH611
+            _heappush(self._heap, key)
+        else:
+            bucket.append(callback)
+            bucket.append(payload)
 
     def _schedule_checked(
         self,
@@ -169,9 +214,79 @@ class Engine:
             )
         if self._drained:
             self._sanitizer.scheduled_after_drain(time, callback, payload)
-        seq = self._seq
-        self._seq = seq + 1
-        _heappush(self._heap, (time, priority, seq, callback, payload))
+        key = (time, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [callback, payload]
+            _heappush(self._heap, key)
+        else:
+            bucket.append(callback)
+            bucket.append(payload)
+
+    def register_batch_handler(
+        self,
+        callback: Callable[[Any], None],
+        batch_callback: Callable[[list, int, int], None],
+    ) -> None:
+        """Register ``batch_callback`` as the batched twin of ``callback``.
+
+        When events for ``callback`` are adjacent within one ``(time,
+        priority)`` bucket, :meth:`_drain_batched` hands the whole run to
+        ``batch_callback(bucket, start, stop)`` as one call instead of
+        calling the scalar handler per event.  The run's payloads sit at
+        the odd slots ``bucket[start + 1 : stop : 2]`` (flat ``[cb, p,
+        cb, p, ...]`` storage); passing the bucket by reference keeps the
+        drain loop from copying payloads into a scratch list.  The twin
+        must read only its ``[start, stop)`` slice and be observationally
+        identical to calling the scalar handler on each payload in FIFO
+        order — including the relative order of every ``schedule()`` call
+        it makes (insertion order breaks same-cycle ties).  Keyed by
+        ``__func__`` so all bound methods of one function share a twin.
+        """
+        key = getattr(callback, "__func__", callback)
+        self._batch_handlers[key] = batch_callback
+
+    def clear_batch_handlers(self) -> None:
+        """Drop every registered batch twin (scalar dispatch resumes)."""
+        self._batch_handlers.clear()
+
+    def schedule_batch(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        payloads,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``callback(p)`` for every ``p`` in ``payloads``.
+
+        Exactly equivalent to one :meth:`schedule` call per payload in
+        iteration order (consecutive bucket slots preserve FIFO), with the
+        validation and bucket lookup hoisted out of the loop — the vector
+        entry point for handlers that fan out many same-cycle events
+        (wavefront seeding, batched completion re-issues).
+        """
+        if not (self.now <= time < _INF):
+            raise ValueError(
+                f"cannot schedule event at {time!r} (now={self.now}): "
+                "event times must be finite and not in the past"
+            )
+        if self._sanitizer is not None:
+            # Instrumented runs route through the (possibly hot-swapped)
+            # checked schedule so the after-drain check still fires.
+            sched = self.schedule
+            for payload in payloads:
+                sched(time, callback, payload, priority)
+            return
+        key = (time, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = []  # simheat: disable=SH611
+            self._buckets[key] = bucket
+            _heappush(self._heap, key)
+        append = bucket.append
+        for payload in payloads:
+            append(callback)
+            append(payload)
 
     def schedule_in(
         self,
@@ -197,7 +312,16 @@ class Engine:
         Routed through the same instrumented dispatch as :meth:`run`, so
         an attached watchdog / shuffle RNG / profiler observes deadline
         runs too (they used to be silently bypassed).
+
+        A non-finite ``deadline`` (``inf`` or ``nan``) means "no deadline"
+        and gets :meth:`run` semantics: drain fully and leave ``now`` at
+        the last event time.  It must never be assigned to ``now`` — that
+        used to leave ``now = inf`` after ``run_until(float("inf"))``,
+        permanently bricking the engine (every later ``schedule()`` raised
+        "must be finite and not in the past").
         """
+        if not (deadline < _INF) or deadline == -_INF:  # simlint: disable=SL103
+            return self._drain(_INF)
         self._drain(deadline)
         if self.now < deadline:
             self.now = deadline
@@ -210,7 +334,9 @@ class Engine:
 
         Exactly one loop runs: shadow shuffle wins over the watchdog
         (shuffle replays are short diagnostic runs), the watchdog over
-        the profiler, and the branch-free plain loop is the default.
+        the profiler, the profiler over batched dispatch (instrumented
+        runs want per-event attribution, and results are bit-identical
+        either way), and the branch-free plain loop is the default.
         The drain flag is maintained in a ``finally`` so every exit path
         (drain, deadline stop, budget error, stall error) agrees: an
         empty heap IS a full drain, a non-empty one is not.
@@ -225,6 +351,8 @@ class Engine:
                     self._drain_profiled_alloc(deadline)
                 else:
                     self._drain_profiled(deadline)
+            elif self._batch_handlers:
+                self._drain_batched(deadline)
             else:
                 self._drain_plain(deadline)
         finally:
@@ -238,31 +366,136 @@ class Engine:
             "likely a livelock in the request state machine"
         )
 
+    def _requeue_remainder(self, key, bucket: list, i: int) -> None:
+        """Re-queue the unprocessed tail of a bucket interrupted mid-drain
+        (budget error, watchdog stall, a callback raising).  The remainder
+        must run before anything scheduled at the same key *during* the
+        interrupted bucket — those went into a fresh bucket — so it is
+        prepended, restoring the exact pre-pop order.
+        """
+        rest = bucket[i:]
+        existing = self._buckets.get(key)
+        if existing is None:
+            self._buckets[key] = rest
+            _heappush(self._heap, key)
+        else:
+            existing[:0] = rest
+
     def _drain_plain(self, deadline: float) -> None:
-        """Branch-free production loop: pop, advance, call, count."""
+        """Branch-free production loop: pop a bucket, advance, call each
+        entry in FIFO order, count."""
         heap = self._heap
+        buckets = self._buckets
         pop = _heappop
         budget = self.max_events
         n = self.events_processed
+        key = None
+        bucket: list = []  # simheat: disable=SH611
+        i = size = 0
         try:
-            if deadline is _INF:
+            # Value (not identity) check: callers construct their own
+            # infinities, and float("inf") is not interned.  Comparing
+            # against the +inf sentinel is exact by definition.
+            if deadline == _INF:  # simlint: disable=SL103
                 while heap:
-                    time, _prio, _seq, callback, payload = pop(heap)
-                    self.now = time
-                    callback(payload)
-                    n += 1
-                    if n > budget:
-                        raise self._budget_error()
+                    key = heap[0]
+                    bucket = buckets.pop(key)
+                    pop(heap)
+                    self.now = key[0]
+                    i = 0
+                    size = len(bucket)
+                    while i < size:
+                        callback = bucket[i]
+                        payload = bucket[i + 1]
+                        i += 2
+                        callback(payload)
+                        n += 1
+                        if n > budget:
+                            raise self._budget_error()
             else:
                 while heap and heap[0][0] <= deadline:
-                    time, _prio, _seq, callback, payload = pop(heap)
-                    self.now = time
-                    callback(payload)
-                    n += 1
+                    key = heap[0]
+                    bucket = buckets.pop(key)
+                    pop(heap)
+                    self.now = key[0]
+                    i = 0
+                    size = len(bucket)
+                    while i < size:
+                        callback = bucket[i]
+                        payload = bucket[i + 1]
+                        i += 2
+                        callback(payload)
+                        n += 1
+                        if n > budget:
+                            raise self._budget_error()
+        finally:
+            self.events_processed = n
+            if i < size:
+                self._requeue_remainder(key, bucket, i)
+
+    def _drain_batched(self, deadline: float) -> None:
+        """SimVec production loop: pop a bucket, hand maximal runs of
+        consecutive same-callback entries to their registered batch twin,
+        dispatch everything else scalar.
+
+        Event order is identical to the plain loop by construction: a
+        bucket is processed front to back, and a run only ever ends at
+        the first entry with a different callback.  Batching is safe
+        because no handler in this model schedules new work at ``(now,
+        priority <= current)`` that could interleave *inside* a run —
+        every hop has positive occupancy, and same-key events a twin
+        schedules (e.g. completion re-issues) open a fresh bucket,
+        landing after the current one exactly as their insertion order
+        demands.  The event budget is checked per run (bounded overshoot
+        of one run), which keeps the check out of the twins' inner loops.
+        """
+        heap = self._heap
+        buckets = self._buckets
+        pop = _heappop
+        budget = self.max_events
+        twins = self._batch_handlers
+        n = self.events_processed
+        key = None
+        bucket: list = []  # simheat: disable=SH611
+        i = size = 0
+        try:
+            while heap and heap[0][0] <= deadline:
+                key = heap[0]
+                bucket = buckets.pop(key)
+                pop(heap)
+                self.now = key[0]
+                i = 0
+                size = len(bucket)
+                while i < size:
+                    callback = bucket[i]
+                    j = i + 2
+                    while j < size and bucket[j] == callback:
+                        j += 2
+                    # Twinned handlers take singleton runs too: their
+                    # fused per-item pipeline beats the scalar handler
+                    # even for one event, and one code shape per handler
+                    # keeps the contract simple.
+                    twin = twins.get(getattr(callback, "__func__", callback))
+                    if twin is None:
+                        while i < j:
+                            payload = bucket[i + 1]
+                            i += 2
+                            callback(payload)
+                            n += 1
+                    else:
+                        # Advance past the run *before* the twin call so
+                        # an exception inside it re-queues only the
+                        # bucket's tail, not the half-processed run.
+                        start = i
+                        i = j
+                        twin(bucket, start, j)
+                        n += (j - start) >> 1
                     if n > budget:
                         raise self._budget_error()
         finally:
             self.events_processed = n
+            if i < size:
+                self._requeue_remainder(key, bucket, i)
 
     def _drain_watched(self, deadline: float) -> None:
         """Drain the queue with the stall watchdog observing every event.
@@ -273,23 +506,38 @@ class Engine:
         and raises ``SimStallError`` when a livelock signature appears.
         """
         heap = self._heap
+        buckets = self._buckets
         pop = _heappop
         watchdog = self._watchdog
         budget = self.max_events
         n = self.events_processed
+        key = None
+        bucket: list = []
+        i = size = 0
         try:
             while heap and heap[0][0] <= deadline:
-                time, _prio, _seq, callback, payload = pop(heap)
+                key = heap[0]
+                bucket = buckets.pop(key)
+                pop(heap)
+                time = key[0]
                 if time > self.now:
                     watchdog.advanced(time)
                 self.now = time
-                callback(payload)
-                n += 1
-                watchdog.event(time)
-                if n > budget:
-                    raise self._budget_error()
+                i = 0
+                size = len(bucket)
+                while i < size:
+                    callback = bucket[i]
+                    payload = bucket[i + 1]
+                    i += 2
+                    callback(payload)
+                    n += 1
+                    watchdog.event(time)
+                    if n > budget:
+                        raise self._budget_error()
         finally:
             self.events_processed = n
+            if i < size:
+                self._requeue_remainder(key, bucket, i)
 
     def _drain_profiled(self, deadline: float) -> None:
         """Drain the queue timing every callback with the profiler clock.
@@ -298,6 +546,7 @@ class Engine:
         is added, so results stay bit-identical to uninstrumented runs.
         """
         heap = self._heap
+        buckets = self._buckets
         pop = _heappop
         prof = self._profiler
         counts = prof.counts
@@ -305,27 +554,40 @@ class Engine:
         clock = prof.clock
         budget = self.max_events
         n = self.events_processed
+        key = None
+        bucket: list = []
+        i = size = 0
         t_enter = clock()
         try:
             while heap and heap[0][0] <= deadline:
-                time, _prio, _seq, callback, payload = pop(heap)
-                self.now = time
-                key = getattr(callback, "__func__", callback)
-                t0 = clock()
-                callback(payload)
-                dt = clock() - t0
-                if key in counts:
-                    counts[key] += 1
-                    self_time[key] += dt
-                else:
-                    counts[key] = 1
-                    self_time[key] = dt
-                n += 1
-                if n > budget:
-                    raise self._budget_error()
+                key = heap[0]
+                bucket = buckets.pop(key)
+                pop(heap)
+                self.now = key[0]
+                i = 0
+                size = len(bucket)
+                while i < size:
+                    callback = bucket[i]
+                    payload = bucket[i + 1]
+                    i += 2
+                    fn = getattr(callback, "__func__", callback)
+                    t0 = clock()
+                    callback(payload)
+                    dt = clock() - t0
+                    if fn in counts:
+                        counts[fn] += 1
+                        self_time[fn] += dt
+                    else:
+                        counts[fn] = 1
+                        self_time[fn] = dt
+                    n += 1
+                    if n > budget:
+                        raise self._budget_error()
         finally:
             prof.wall_time += clock() - t_enter
             self.events_processed = n
+            if i < size:
+                self._requeue_remainder(key, bucket, i)
 
     def _drain_profiled_alloc(self, deadline: float) -> None:
         """Profiled drain that additionally attributes heap allocation to
@@ -337,6 +599,7 @@ class Engine:
         import tracemalloc
 
         heap = self._heap
+        buckets = self._buckets
         pop = _heappop
         prof = self._profiler
         counts = prof.counts
@@ -346,55 +609,71 @@ class Engine:
         traced = tracemalloc.get_traced_memory
         budget = self.max_events
         n = self.events_processed
+        key = None
+        bucket: list = []
+        i = size = 0
         t_enter = clock()
         try:
             while heap and heap[0][0] <= deadline:
-                time, _prio, _seq, callback, payload = pop(heap)
-                self.now = time
-                key = getattr(callback, "__func__", callback)
-                a0 = traced()[0]
-                t0 = clock()
-                callback(payload)
-                dt = clock() - t0
-                da = traced()[0] - a0
-                if key in counts:
-                    counts[key] += 1
-                    self_time[key] += dt
-                    alloc_bytes[key] += da
-                else:
-                    counts[key] = 1
-                    self_time[key] = dt
-                    alloc_bytes[key] = da
-                n += 1
-                if n > budget:
-                    raise self._budget_error()
+                key = heap[0]
+                bucket = buckets.pop(key)
+                pop(heap)
+                self.now = key[0]
+                i = 0
+                size = len(bucket)
+                while i < size:
+                    callback = bucket[i]
+                    payload = bucket[i + 1]
+                    i += 2
+                    fn = getattr(callback, "__func__", callback)
+                    a0 = traced()[0]
+                    t0 = clock()
+                    callback(payload)
+                    dt = clock() - t0
+                    da = traced()[0] - a0
+                    if fn in counts:
+                        counts[fn] += 1
+                        self_time[fn] += dt
+                        alloc_bytes[fn] += da
+                    else:
+                        counts[fn] = 1
+                        self_time[fn] = dt
+                        alloc_bytes[fn] = da
+                    n += 1
+                    if n > budget:
+                        raise self._budget_error()
         finally:
             prof.wall_time += clock() - t_enter
             self.events_processed = n
+            if i < size:
+                self._requeue_remainder(key, bucket, i)
 
     # ------------------------------------------------------- shadow shuffle
 
     def _drain_shuffled(self, deadline: float) -> None:
         """Drain the queue with same-(time, priority) handler blocks
-        deterministically permuted (SimRace dynamic confirmer)."""
+        deterministically permuted (SimRace dynamic confirmer).
+
+        A bucket *is* the unordered batch: its FIFO order is an accident
+        of schedule-call order, which is exactly what the permutation is
+        probing.
+        """
         heap = self._heap
+        buckets = self._buckets
         pop = _heappop
         budget = self.max_events
         n = self.events_processed
         try:
             while heap and heap[0][0] <= deadline:
-                time, prio, _seq, callback, payload = pop(heap)
-                batch: List[Tuple[Callable[[Any], None], Any]] = [(callback, payload)]
-                # Events already queued at exactly this (time, priority) form an
-                # unordered batch: their FIFO order is an accident of call order.
-                # Exact float equality is intended here — only bit-identical
-                # timestamps are simultaneous.
-                while heap and heap[0][0] == time and heap[0][1] == prio:  # simlint: disable=SL103
-                    _t, _p, _s, cb, pl = pop(heap)
-                    batch.append((cb, pl))
+                key = heap[0]
+                bucket = buckets.pop(key)
+                pop(heap)
+                batch: List[Tuple[Callable[[Any], None], Any]] = [
+                    (bucket[i], bucket[i + 1]) for i in range(0, len(bucket), 2)
+                ]
                 if len(batch) > 1:
                     batch = self._permute_batch(batch)
-                self.now = time
+                self.now = key[0]
                 for cb, pl in batch:
                     cb(pl)
                     n += 1

@@ -103,10 +103,16 @@ class EventProfiler:
         return out
 
     def render(self, top: int = 0) -> str:
-        """Human-readable table (``top`` > 0 limits to the N hottest rows)."""
-        rows = self.rows()
-        if top > 0:
-            rows = rows[:top]
+        """Human-readable table (``top`` > 0 limits to the N hottest rows).
+
+        A truncated table says so: an ellipsis line between the shown
+        rows and the totals states how many handlers are hidden and what
+        share of self-time the shown rows cover, so the 100% ``total``
+        row (which always aggregates *every* handler) cannot be misread
+        as "these N rows are the whole profile".
+        """
+        all_rows = self.rows()
+        rows = all_rows[:top] if top > 0 else all_rows
         with_alloc = bool(self.alloc_bytes)
         width = max([len("handler")] + [len(r.handler) for r in rows])
         header = f"{'handler':<{width}}  {'events':>10}  {'self(s)':>9}  {'%':>6}  {'us/ev':>8}"
@@ -123,9 +129,16 @@ class EventProfiler:
             if with_alloc:
                 line += f"  {r.alloc_b_per_event:>8.1f}"
             lines.append(line)
+        if len(rows) < len(all_rows):
+            shown_pct = sum(r.pct for r in rows)
+            lines.append(
+                f"... top {len(rows)} of {len(all_rows)} handlers shown "
+                f"({shown_pct:.1f}% of self-time); "
+                f"{len(all_rows) - len(rows)} hidden"
+            )
         lines.append(
             f"{'total':<{width}}  {self.total_events:>10}  "
-            f"{self.total_self_time:>9.3f}  {100.0 if rows else 0.0:>6.1f}  "
+            f"{self.total_self_time:>9.3f}  {100.0 if all_rows else 0.0:>6.1f}  "
             f"{(1e6 * self.total_self_time / self.total_events) if self.total_events else 0.0:>8.2f}"
         )
         if self.wall_time > 0.0:

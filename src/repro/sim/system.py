@@ -49,8 +49,10 @@ identity of fast vs. instrumented runs is enforced by
 
 from __future__ import annotations
 
+import gc
 import math
 from collections import deque
+from heapq import heappush as _heappush
 from time import perf_counter
 from typing import List, Optional, Union
 
@@ -69,11 +71,24 @@ from repro.mem.interleave import AddressMap
 from repro.mem.l2 import L2Slice
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
-from repro.sim.resources import Server
+from repro.sim.resources import Server, reserve_run_fast, reserve_run_fast_sized
 from repro.sim.results import SimResult
 from repro.sim.watchdog import StallWatchdog, build_wait_graph
 from repro.workloads.generator import Workload, generate_workload
 from repro.workloads.profile import AppProfile
+
+# NumPy backs the SimVec vector phase (batched issue math); the scalar
+# per-item fallback below produces identical Python ints, so the batched
+# core degrades gracefully when NumPy is absent.
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always ships numpy
+    _np = None
+
+# Below this batch size the NumPy round-trip (array build + .tolist())
+# costs more than the pure-Python loop it replaces; both compute
+# identical ints, so the threshold is a pure perf knob.
+_VEC_MIN = 8
 
 # Access kinds as plain ints: streams already deliver ints (see
 # Wavefront.next_access) and IntEnum comparisons cost an extra call on
@@ -91,6 +106,22 @@ _BYPASS = int(AccessKind.BYPASS)
 FAST_PATH_PAIRS = [
     ("GPUSystem._issue_load_fast", "GPUSystem._issue_cold", "specialized",
      {"slow_only_counters": ["_n_stores", "_n_atomics", "_n_bypasses"]}),
+    # SimVec batch twins: each drains one same-(time, priority) run of
+    # its scalar handler as a single call, preserving per-event effect
+    # and schedule-call order exactly.  The loop/phase structure defeats
+    # statement-level matching, so equivalence is delegated to the
+    # differential confirmer (force_scalar_dispatch) and the
+    # fingerprint-identity tests; SH603/SH604 wiring checks still apply.
+    ("GPUSystem._wf_issue_batch", "GPUSystem._wf_issue", "delegated", {}),
+    ("GPUSystem._l1_access_batch", "GPUSystem._l1_access", "delegated", {}),
+    ("GPUSystem._complete_batch", "GPUSystem._complete", "delegated", {}),
+    # Fused single-cluster specializations of the issue/L1 batch twins:
+    # the factory resolves every per-design decision at wiring time and
+    # its closures inline the reservation/traversal/probe/push blocks
+    # (each mirroring its canonical twin statement for statement).
+    ("GPUSystem._make_spec_twins",
+     ("GPUSystem._wf_issue", "GPUSystem._l1_access", "GPUSystem._complete"),
+     "delegated", {}),
 ]
 
 # SimHeat SH614 allowlist: self-rooted containers a pooled MemoryRequest
@@ -183,6 +214,10 @@ class GPUSystem:
         # no ledger attached.  Deliberately *not* a SimConfig field — it
         # must never perturb sim_cache_key or the fingerprint contract.
         self._force_slow = False
+        # SimVec confirmer knob (see force_scalar_dispatch): when set,
+        # the fast wiring skips batch-handler registration so every event
+        # runs the scalar fast twin.  Same non-config rationale as above.
+        self._force_scalar = False
 
         # Resolve the fast/slow hot-path split — must run last: it
         # captures the post-attach engine.schedule and keys everything
@@ -222,6 +257,38 @@ class GPUSystem:
             self._rt_from_l2 = self.topo.from_l2
             self._l1_reserve = None
             self._l2_reserve = None
+        # SimVec batched dispatch (see docs/performance.md): registered
+        # only on uninstrumented runs — instrumented drains outrank it in
+        # the engine anyway, and the scalar twins are the ground truth the
+        # batch twins are checked against (force_scalar_dispatch).
+        self._vec = self._fast and not self._force_scalar
+        eng = self.engine
+        eng.clear_batch_handlers()
+        self._home_of_batch = None
+        self._rt_c2d_batch = None
+        if self._vec:
+            if self.decoupled:
+                self._home_of_batch = self.home.make_fast_home_of_batch()
+            self._rt_c2d_batch = self.topo.make_batch_routes()
+            self._issue_ports = [c.issue_port for c in self.cores]
+            eng.register_batch_handler(self._wf_issue, self._wf_issue_batch)
+            eng.register_batch_handler(self._l1_access, self._l1_access_batch)
+            eng.register_batch_handler(self._complete, self._complete_batch)
+        # Pooled scratch buffers for the batch twins: allocated once here
+        # so the hot bodies never construct containers (SimHeat SH611);
+        # cleared and refilled per batch.
+        self._vb_lines: list = []
+        self._vb_kinds: list = []
+        self._vb_cores: list = []
+        self._vb_sizes: list = []
+        self._vb_addrs: list = []
+        self._vb_l2s: list = []
+        self._vb_mcs: list = []
+        self._vb_homes: list = []
+        self._vb_ts: list = []
+        self._vb_arr: list = []
+        self._vb_idx: list = []
+        self._vb_pend: list = []
         # MemoryRequest free list — only recycled on uninstrumented runs
         # (the ledger keys live holds and hop traces by id(request)).
         self._req_pool: List[MemoryRequest] = []
@@ -236,6 +303,16 @@ class GPUSystem:
         self._n_bypassed_fills = 0
         self._rtt_sum = 0.0
         self._rtt_count = 0
+        # Specialized fused twins (see _make_spec_twins) override the
+        # generic registrations for the single-cluster fast shape.  Must
+        # resolve last: the closures capture the pool and scratch state
+        # rebuilt above.
+        if self._vec:
+            spec = self._make_spec_twins()
+            if spec is not None:
+                eng.register_batch_handler(self._wf_issue, spec[0])
+                eng.register_batch_handler(self._l1_access, spec[1])
+                eng.register_batch_handler(self._complete, spec[2])
 
     def force_slow_path(self) -> None:
         """Re-wire the system onto the instrumented slow twins (SimHeat's
@@ -248,6 +325,19 @@ class GPUSystem:
         if self._ran:
             raise RuntimeError("force_slow_path() must be called before run()")
         self._force_slow = True
+        self._wire_hot_path()
+
+    def force_scalar_dispatch(self) -> None:
+        """Re-wire with SimVec batched dispatch disabled: the fast wiring
+        stays, but every event runs its scalar fast twin individually
+        (the SimVec differential confirmer).  The resulting run must be
+        bit-identical to batched dispatch — that identity *is* the batch
+        twins' contract, enforced by tests/test_simturbo.py.  Like
+        :meth:`force_slow_path`, deliberately not a SimConfig field: it
+        must never perturb sim_cache_key or the fingerprint contract."""
+        if self._ran:
+            raise RuntimeError("force_scalar_dispatch() must be called before run()")
+        self._force_scalar = True
         self._wire_hot_path()
 
     def _attach_watchdog(self) -> None:
@@ -404,17 +494,33 @@ class GPUSystem:
         if self._ran:
             raise RuntimeError("GPUSystem instances are single-use; build a new one")
         self._ran = True
+        seeds = []
         for core in self.cores:
             for wf in core.slots:
                 stream = core.next_stream(self.workload.streams)
                 if stream is not None:
                     wf.bind(stream)
                     core.active_wavefronts += 1
-                    self.engine.schedule(0.0, self._wf_issue, wf)
+                    seeds.append(wf)
+        # Vector seeding: identical to one schedule() per wavefront in
+        # the same order (consecutive seqs), minus the per-call overhead.
+        self.engine.schedule_batch(0.0, self._wf_issue, seeds)
         # Wall-clock observability only — never part of the result's
         # fingerprint (see repro.sim.results._OBSERVABILITY_FIELDS).
+        # GC pause for the drain: the steady-state event loop recycles
+        # requests through the free list and never drops reference
+        # cycles, so collector sweeps over the (large, static) object
+        # graph are pure overhead.  Restored unconditionally — a raising
+        # run must not leave the collector off for the caller.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         t0 = perf_counter()  # simlint: disable=SL101
-        self.engine.run()
+        try:
+            self.engine.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         wall = perf_counter() - t0  # simlint: disable=SL101
         if self._watchdog is not None and self.outstanding != 0:
             # Checked before the ledger's drain assertion: a wedged drain
@@ -563,6 +669,624 @@ class GPUSystem:
         else:
             core.active_wavefronts -= 1
             core.finish_time = self.engine.now
+
+    # ------------------------------------------------------- SimVec batch twins
+
+    def _wf_issue_batch(self, bucket, lo, hi) -> None:
+        """SimVec twin of :meth:`_wf_issue` for one same-cycle run.
+
+        Receives the engine's run view — the wavefronts sit at the odd
+        slots ``bucket[lo + 1 : hi : 2]`` (see
+        :meth:`~repro.sim.engine.Engine.register_batch_handler`).
+
+        Three phases, each preserving the scalar per-event order where it
+        is observable:
+
+        1. Advance every wavefront's stream cursor (pure, wavefront-local)
+           and collect lines/kinds/cores into scratch buffers.
+        2. Vectorized math: addresses, L2/MC routing and home-node lookups
+           over NumPy int64 arrays (bit-exact vs Python ints); issue-port
+           reservations and — when every access is a LOAD — the NoC#1
+           request traversals resolved per-batch.  Port state chains are
+           per-server and evolve in item order, identical to sequential
+           calls; issue ports, NoC#1 ports and pass-3 state are disjoint,
+           so phase-splitting them cannot reorder any single server's
+           float chain.
+        3. Stateful effects per wavefront, in run order — pool, counters,
+           MLP re-issue and the L1 hop — making exactly the schedule()
+           calls the scalar twin would, in the same order (seq numbers
+           break same-cycle ties, so call order is part of the contract).
+
+        Rare shapes (an exhausted wavefront, whose refill can issue
+        inline) fall back to scalar dispatch for the whole run before any
+        cursor moves, keeping the interleaving exactly scalar.
+        """
+        for s in range(lo + 1, hi, 2):
+            if bucket[s].done:
+                for w in range(lo + 1, hi, 2):
+                    self._wf_issue(bucket[w])  # simheat: disable=SH604
+                return
+        lines = self._vb_lines
+        kinds = self._vb_kinds
+        cores = self._vb_cores
+        sizes = self._vb_sizes
+        lines.clear()
+        kinds.clear()
+        cores.clear()
+        sizes.clear()
+        nonload = 0
+        for s in range(lo + 1, hi, 2):
+            wf = bucket[s]
+            wf.issue_pending = False
+            pc = wf.pc
+            lines.append(wf._lines[pc])
+            kind = wf._kinds[pc]
+            kinds.append(kind)
+            nonload |= kind
+            cores.append(wf.core_id)
+            sizes.append(wf._issue_size)
+            pc += 1
+            wf.pc = pc
+            if pc >= wf._length:
+                wf.done = True
+
+        # Phase 2a: address/route math (identical ints either way).
+        k = (hi - lo) >> 1
+        addrs = self._vb_addrs
+        l2s = self._vb_l2s
+        mcs = self._vb_mcs
+        homes = self._vb_homes
+        addrs.clear()
+        l2s.clear()
+        mcs.clear()
+        homes.clear()
+        line_bits = self._line_bits
+        num_l2 = self._num_l2_slices
+        spc = self._slices_per_chan
+        decoupled = self.decoupled
+        if _np is not None and k >= _VEC_MIN:
+            arr = _np.array(lines, dtype=_np.int64)
+            addrs.extend((arr << line_bits).tolist())
+            l2arr = arr % num_l2
+            l2s.extend(l2arr.tolist())
+            mcs.extend((l2arr // spc).tolist())
+            if decoupled:
+                homes.extend(self._home_of_batch(
+                    _np.array(cores, dtype=_np.int64), arr
+                ).tolist())
+        else:
+            for line in lines:
+                addrs.append(line << line_bits)
+                l2 = line % num_l2
+                l2s.append(l2)
+                mcs.append(l2 // spc)
+            if decoupled:
+                home_of = self._home_of
+                for i in range(k):
+                    homes.append(home_of(cores[i], lines[i]))
+
+        # Phase 2b: issue-port reservations, per-batch (wavefronts on one
+        # core share its port; repeats chain exactly like scalar calls).
+        now = self.engine.now
+        ts = self._vb_ts
+        ts.clear()
+        reserve_run_fast_sized(self._issue_ports, cores, now, sizes, ts)
+
+        # Phase 2c: NoC#1 request hop per-batch — only when every access
+        # is a LOAD (mixed runs interleave cold-kind traversals on the
+        # same crossbar, so they route per item in phase 3) and Q1
+        # credits are off (admission can park requests).
+        credits = self._node_credits
+        arrivals = self._vb_arr
+        arrivals.clear()
+        rt_batch = self._rt_c2d_batch
+        batched_route = (
+            decoupled and not nonload and credits is None and rt_batch is not None
+        )
+        if batched_route:
+            rt_batch(ts, cores, homes, 1, arrivals)
+
+        # Phase 3: stateful effects, in run order.
+        cores_list = self.cores
+        pool = self._req_pool
+        schedule = self.schedule
+        issue_cb = self._wf_issue
+        l1_cb = self._l1_access
+        rt_c2d = self._rt_core_to_dcl1
+        req_bytes = self._request_bytes
+        load = _LOAD
+        outst = 0
+        n_loads = 0
+        i = -1
+        for s in range(lo + 1, hi, 2):
+            wf = bucket[s]
+            i += 1
+            kind = kinds[i]
+            t = ts[i]
+            core = cores_list[cores[i]]
+            # count_access inlined (_instr_inc is 1 + int(gap), matching
+            # the scalar rounding).
+            core.mem_instructions += 1
+            core.instructions += wf._instr_inc
+            if kind == load:
+                if pool:
+                    req = pool.pop()
+                    req.l1_hit = False
+                    req.l2_hit = False
+                    req.merged = False
+                else:
+                    req = MemoryRequest(0, load, req_bytes, 0)
+                req.addr = addrs[i]
+                req.kind = load
+                req.core_id = cores[i]
+                req.wavefront = wf
+                req.issue_time = t
+                req.line = lines[i]
+                req.l2_id = l2s[i]
+                req.mc_id = mcs[i]
+                outst += 1
+                n_loads += 1
+                wf.outstanding += 1
+                if wf.outstanding < wf.mlp and not wf.issue_pending:
+                    wf.issue_pending = True
+                    schedule(t, issue_cb, wf)
+                if decoupled:
+                    home = homes[i]
+                    req.dcl1_id = home
+                    if credits is None:
+                        if batched_route:
+                            schedule(arrivals[i], l1_cb, req)
+                        else:
+                            schedule(rt_c2d(t, cores[i], home, 1), l1_cb, req)
+                    else:
+                        self._enter_node(req, t)
+                else:
+                    schedule(t, l1_cb, req)
+            else:
+                self._issue_cold(wf, lines[i], kind, t)  # simheat: disable=SH604
+        self.outstanding += outst
+        self._n_loads += n_loads
+
+    def _l1_access_batch(self, bucket, lo, hi) -> None:
+        """SimVec twin of :meth:`_l1_access` for one same-cycle run
+        (requests at the odd slots of ``bucket[lo:hi]``).
+
+        Bank reservations resolve per-batch (phase A; bank chains are
+        per-server and evolve in item order, and nothing in phase B
+        touches bank state), then cache accesses, credit releases and the
+        reply/miss hops run per request in run order — same schedule-call
+        order as the scalar twin.
+        """
+        now = self.engine.now
+        decoupled = self.decoupled
+        idxs = self._vb_idx
+        idxs.clear()
+        if decoupled:
+            for s in range(lo + 1, hi, 2):
+                idxs.append(bucket[s].dcl1_id)
+        else:
+            for s in range(lo + 1, hi, 2):
+                idxs.append(bucket[s].core_id)
+        ts = self._vb_ts
+        ts.clear()
+        banks = self.l1_banks
+        reserve_run_fast(banks, idxs, now, ts)
+
+        credits = self._node_credits
+        caches = self.l1_caches
+        filters = self.l1_filters
+        schedule = self.schedule
+        complete_cb = self._complete
+        at_l2_cb = self._at_l2
+        rel_cb = self._release_node
+        rt_d2c = self._rt_dcl1_to_core
+        rt_to_l2 = self._rt_to_l2
+        reply_flits = self._noc1_reply_flits
+        req_flits = self._req_flits
+        line_flits = self._line_flits
+        load = _LOAD
+        i = -1
+        for s in range(lo + 1, hi, 2):
+            req = bucket[s]
+            i += 1
+            idx = idxs[i]
+            t = ts[i]
+            if credits is not None:
+                free_at = max(now, t - banks[idx].latency)
+                schedule(free_at, rel_cb, req, -1)
+            cache = caches[idx]
+            if req.kind == load:
+                if cache.access_load(req.line):
+                    req.l1_hit = True
+                    if filters is not None:
+                        filters[idx].on_hit(req.line)
+                    if decoupled:
+                        t = rt_d2c(t, idx, req.core_id, reply_flits)
+                    schedule(t, complete_cb, req)
+                else:
+                    self._l1_miss(req, t, idx)
+            else:  # STORE: write-evict + no-write-allocate, always to L2
+                hit = cache.access_store(req.line)
+                req.l1_hit = hit
+                if hit and filters is not None:
+                    filters[idx].on_evict(req.line)
+                flits = req_flits + (line_flits if hit else 0)
+                src = idx if decoupled else req.core_id
+                schedule(rt_to_l2(t, src, req.l2_id, flits), at_l2_cb, req)
+
+    def _complete_batch(self, bucket, lo, hi) -> None:
+        """SimVec twin of :meth:`_complete` for one same-cycle run
+        (requests at the odd slots of ``bucket[lo:hi]``; fast-path body
+        only — batch dispatch is never wired on instrumented runs).
+
+        Re-issues collect into a scratch list and schedule in one
+        ``schedule_batch`` call: the scalar twin makes no other schedule
+        calls between completions, so the deferred pushes get the same
+        seq numbers in the same order.
+        """
+        now = self.engine.now
+        pool = self._req_pool
+        pend = self._vb_pend
+        pend.clear()
+        rtt_sum = self._rtt_sum
+        rtt_count = 0
+        load = _LOAD
+        store = _STORE
+        for s in range(lo + 1, hi, 2):
+            req = bucket[s]
+            kind = req.kind
+            if kind == load:
+                rtt_sum += now - req.issue_time
+                rtt_count += 1
+                wf = req.wavefront
+                wf.outstanding -= 1
+                if not wf.issue_pending:
+                    wf.issue_pending = True
+                    pend.append(wf)
+            elif kind != store:
+                wf = req.wavefront
+                wf.outstanding -= 1
+                if not wf.issue_pending:
+                    wf.issue_pending = True
+                    pend.append(wf)
+            req.wavefront = None
+            pool.append(req)
+        self.outstanding -= (hi - lo) >> 1
+        self._rtt_sum = rtt_sum
+        self._rtt_count += rtt_count
+        if pend:
+            self.engine.schedule_batch(now, self._wf_issue, pend)
+
+    def _make_spec_twins(self):
+        """Build fused batch twins for the single-cluster decoupled fast
+        shape (the paper's ShY family at Z = 1, credits/filters off, LRU,
+        no directory — what the headline Sh40 runs are), or ``None`` when
+        any feature the fusion elides is active.
+
+        The generic batch twins above stay correct for every design by
+        phasing their work through scratch arrays and prebound closures;
+        these closures instead fuse the whole per-item pipeline — stream
+        advance, issue-port reservation, NoC#1 hop, cache probe, reply
+        hop and the event push — into one loop with every per-design
+        decision resolved here, at wiring time.  Each inlined block
+        mirrors its canonical twin statement for statement:
+
+        * port reservations — ``Server.reserve_fast``;
+        * crossbar hops — ``Crossbar.traverse_fast`` (request flits are
+          always 1, so the ``service * flits`` multiply is elided there;
+          bit-exact under IEEE-754);
+        * home lookup — the ``interleave`` branch of
+          ``HomeMapper.make_fast_home_of`` with the Z = 1 cluster term
+          dropped (``core_id // n * m == 0``);
+        * cache probe — ``SetAssociativeCache.access_load`` with the
+          LRU set's ``OrderedDict`` addressed directly;
+        * event pushes — ``Engine.schedule``'s bucket append.  The
+          validation branch is vacuous here: every push time sits at the
+          far end of a strictly-positive occupancy chain starting at
+          ``now``, so it is finite and never in the past.
+
+        Equivalence with the scalar twins is enforced by the SimVec
+        differential confirmer (``force_scalar_dispatch``) and the
+        fingerprint-identity tests; runs containing any shape the fusion
+        does not handle (exhausted wavefront, non-LOAD issue) delegate to
+        the generic twin before touching state.
+        """
+        if not (self._vec and self.decoupled):
+            return None
+        if self._node_credits is not None or self.l1_filters is not None:
+            return None
+        geo = self.geometry
+        topo = self.topo
+        if len(topo.noc1_req) != 1 or geo.cores_per_cluster != topo.num_cores:
+            return None
+        if self.home.strategy != "interleave":
+            return None
+        c0 = self.l1_caches[0]
+        for c in self.l1_caches:
+            if (
+                c.perfect
+                or c.policy_name != "lru"
+                or c.index_divisor != c0.index_divisor
+                or c._set_mask != c0._set_mask
+            ):
+                return None
+
+        sysm = self
+        eng = self.engine
+        heap = eng._heap
+        buckets = eng._buckets
+        hpush = _heappush
+        m = geo.dcl1_per_cluster
+        line_bits = self._line_bits
+        num_l2 = self._num_l2_slices
+        spc = self._slices_per_chan
+        req_bytes = self._request_bytes
+        load = _LOAD
+        ports = self._issue_ports
+        cores_list = self.cores
+        pool = self._req_pool
+        issue_cb = self._wf_issue
+        l1_cb = self._l1_access
+        complete_cb = self._complete
+        at_l2_cb = self._at_l2
+        generic_issue = self._wf_issue_batch
+        req_xb = topo.noc1_req[0]
+        qin = req_xb._in
+        qout = req_xb._out
+        rep_xb = topo.noc1_rep[0]
+        rin = rep_xb._in
+        rout = rep_xb._out
+        reply_flits = self._noc1_reply_flits
+        caches = self.l1_caches
+        banks = self.l1_banks
+        div = c0.index_divisor
+        strip = div > 1
+        smask = c0._set_mask
+        rt_to_l2 = self._rt_to_l2
+        req_flits = self._req_flits
+        line_flits = self._line_flits
+
+        refill = self._wf_refill
+
+        def issue_run(bucket, lo, hi):
+            # Delegate runs with a shape the fusion elides (non-LOAD) to
+            # the generic twin before any cursor moves, keeping the
+            # interleaving exactly scalar.  Exhausted wavefronts are
+            # handled inline below — delegating those would push every
+            # end-of-stream run (and its co-scheduled live issues) back
+            # onto the scalar path.
+            for s in range(lo + 1, hi, 2):
+                wf = bucket[s]
+                if not wf.done and wf._kinds[wf.pc] != load:
+                    generic_issue(bucket, lo, hi)
+                    return
+            now = eng.now
+            outst = 0
+            for s in range(lo + 1, hi, 2):
+                wf = bucket[s]
+                wf.issue_pending = False
+                if wf.done:
+                    # _wf_issue's exhausted-stream branch: refill once
+                    # the last reply lands (CTA replacement re-enters
+                    # the scalar issue path, which is the canonical
+                    # behaviour — refills are rare).
+                    if wf.outstanding == 0:
+                        refill(wf)
+                    continue
+                pc = wf.pc
+                line = wf._lines[pc]
+                pc += 1
+                wf.pc = pc
+                if pc >= wf._length:
+                    wf.done = True
+                c = wf.core_id
+                # Issue-port reservation (Server.reserve_fast).
+                srv = ports[c]
+                nf = srv.next_free
+                start = now if now > nf else nf
+                occ = srv.service * wf._issue_size
+                srv.next_free = start + occ
+                srv.busy_cycles += occ
+                srv.num_served += 1
+                t = start + occ + srv.latency
+                # CoreState.count_access (_instr_inc is 1 + int(gap)).
+                core = cores_list[c]
+                core.mem_instructions += 1
+                core.instructions += wf._instr_inc
+                if pool:
+                    req = pool.pop()
+                    req.l1_hit = False
+                    req.l2_hit = False
+                    req.merged = False
+                else:
+                    req = MemoryRequest(0, load, req_bytes, 0)
+                l2 = line % num_l2
+                home = line % m
+                req.addr = line << line_bits
+                req.kind = load
+                req.core_id = c
+                req.wavefront = wf
+                req.issue_time = t
+                req.line = line
+                req.l2_id = l2
+                req.mc_id = l2 // spc
+                req.dcl1_id = home
+                outst += 1
+                wf.outstanding += 1
+                # (_schedule_issue's issue_pending guard is vacuous here:
+                # it was cleared at the top of this item and nothing set
+                # it since.)
+                if wf.outstanding < wf.mlp:
+                    wf.issue_pending = True
+                    key = (t, 0)
+                    b = buckets.get(key)
+                    if b is None:
+                        buckets[key] = [issue_cb, wf]
+                        hpush(heap, key)
+                    else:
+                        b.append(issue_cb)
+                        b.append(wf)
+                # NoC#1 request hop, one flit (Crossbar.traverse_fast).
+                p = qin[c]
+                nf = p.next_free
+                sx = t if t > nf else nf
+                occ = p.service
+                p.next_free = sx + occ
+                p.busy_cycles += occ
+                p.num_served += 1
+                t1 = sx + occ + p.latency
+                p = qout[home]
+                nf = p.next_free
+                sx = t1 if t1 > nf else nf
+                occ = p.service
+                p.next_free = sx + occ
+                p.busy_cycles += occ
+                p.num_served += 1
+                arr = sx + occ + p.latency
+                key = (arr, 0)
+                b = buckets.get(key)
+                if b is None:
+                    buckets[key] = [l1_cb, req]
+                    hpush(heap, key)
+                else:
+                    b.append(l1_cb)
+                    b.append(req)
+            req_xb.flit_hops += outst
+            sysm.outstanding += outst
+            sysm._n_loads += outst
+
+        def l1_run(bucket, lo, hi):
+            now = eng.now
+            nhits = 0
+            for s in range(lo + 1, hi, 2):
+                req = bucket[s]
+                idx = req.dcl1_id
+                # DC-L1 bank reservation (Server.reserve_fast).
+                srv = banks[idx]
+                nf = srv.next_free
+                start = now if now > nf else nf
+                occ = srv.service
+                srv.next_free = start + occ
+                srv.busy_cycles += occ
+                srv.num_served += 1
+                t = start + occ + srv.latency
+                cache = caches[idx]
+                if req.kind == load:
+                    line = req.line
+                    # SetAssociativeCache.access_load over the LRU set.
+                    od = cache._sets[
+                        ((line // div) & smask) if strip else (line & smask)
+                    ]._order
+                    if line in od:
+                        od.move_to_end(line)
+                        cache.stats.load_hits += 1
+                        req.l1_hit = True
+                        # NoC#1 reply hop (Crossbar.traverse_fast).
+                        p = rin[idx]
+                        nf = p.next_free
+                        sx = t if t > nf else nf
+                        occ = p.service * reply_flits
+                        p.next_free = sx + occ
+                        p.busy_cycles += occ
+                        p.num_served += 1
+                        t1 = sx + occ + p.latency
+                        p = rout[req.core_id]
+                        nf = p.next_free
+                        sx = t1 if t1 > nf else nf
+                        occ = p.service * reply_flits
+                        p.next_free = sx + occ
+                        p.busy_cycles += occ
+                        p.num_served += 1
+                        t2 = sx + occ + p.latency
+                        nhits += 1
+                        key = (t2, 0)
+                        b = buckets.get(key)
+                        if b is None:
+                            buckets[key] = [complete_cb, req]
+                            hpush(heap, key)
+                        else:
+                            b.append(complete_cb)
+                            b.append(req)
+                    else:
+                        # access_load's miss branch, directory included
+                        # (replication-ratio metric; shared DC-L1 levels
+                        # always carry one).
+                        stats = cache.stats
+                        stats.load_misses += 1
+                        d = cache.directory
+                        if d is not None and d.held_elsewhere(line, cache.cache_id):
+                            stats.replicated_misses += 1
+                        sysm._l1_miss(req, t, idx)
+                else:
+                    # STORE: write-evict + no-write-allocate, always to
+                    # L2 — same statements as the scalar twin's branch.
+                    hit = cache.access_store(req.line)
+                    req.l1_hit = hit
+                    flits = req_flits + (line_flits if hit else 0)
+                    t2 = rt_to_l2(t, idx, req.l2_id, flits)
+                    key = (t2, 0)
+                    b = buckets.get(key)
+                    if b is None:
+                        buckets[key] = [at_l2_cb, req]
+                        hpush(heap, key)
+                    else:
+                        b.append(at_l2_cb)
+                        b.append(req)
+            rep_xb.flit_hops += nhits * reply_flits
+
+        store = _STORE
+
+        def complete_run(bucket, lo, hi):
+            # Fused _complete_batch: same statements, with the re-issue
+            # pushes inlined (Engine.schedule's bucket append — all of a
+            # run's re-issues land at the one key ``(now, 0)``, so the
+            # target bucket is resolved once, on first use).  The push
+            # sequence is the item order either way; interleaving the
+            # pushes with the free-list appends is unobservable because
+            # the pool's append order itself never changes.
+            now = eng.now
+            rtt_sum = 0.0
+            rtt_count = 0
+            key = (now, 0)
+            b = None
+            for s in range(lo + 1, hi, 2):
+                req = bucket[s]
+                kind = req.kind
+                if kind == load:
+                    rtt_sum += now - req.issue_time
+                    rtt_count += 1
+                    wf = req.wavefront
+                    wf.outstanding -= 1
+                    if not wf.issue_pending:
+                        wf.issue_pending = True
+                        if b is None:
+                            b = buckets.get(key)
+                            if b is None:
+                                b = []
+                                buckets[key] = b
+                                hpush(heap, key)
+                        b.append(issue_cb)
+                        b.append(wf)
+                elif kind != store:
+                    wf = req.wavefront
+                    wf.outstanding -= 1
+                    if not wf.issue_pending:
+                        wf.issue_pending = True
+                        if b is None:
+                            b = buckets.get(key)
+                            if b is None:
+                                b = []
+                                buckets[key] = b
+                                hpush(heap, key)
+                        b.append(issue_cb)
+                        b.append(wf)
+                req.wavefront = None
+                pool.append(req)
+            sysm.outstanding -= (hi - lo) >> 1
+            sysm._rtt_sum += rtt_sum
+            sysm._rtt_count += rtt_count
+
+        return issue_run, l1_run, complete_run
 
     # ---------------------------------------------------------- node admission
 

@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event engine."""
 
+import math
+
 import pytest
 
 from repro.sim.engine import Engine
@@ -138,6 +140,62 @@ def test_run_until_partial_drain_clears_drained_flag():
     assert not eng._drained
     eng.run()
     assert eng._drained
+
+
+def test_run_until_inf_drains_fully_without_bricking():
+    """Regression: ``run_until(float("inf"))`` used to assign ``now = inf``,
+    after which every later ``schedule()`` raised "must be finite and not
+    in the past" — the engine was permanently bricked.  A non-finite
+    deadline now means "no deadline": full drain, ``now`` left at the
+    last event time, engine still schedulable."""
+    seen = []
+    eng = Engine()
+    for t in (1.0, 2.0, 3.0):
+        eng.schedule(t, seen.append, t)
+    end = eng.run_until(float("inf"))
+    assert seen == [1.0, 2.0, 3.0]
+    assert end == 3.0 and eng.now == 3.0
+    assert math.isfinite(eng.now)
+    # the brick: this schedule used to raise
+    eng.schedule(4.0, seen.append, 4.0)
+    eng.run()
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_run_until_inf_on_empty_engine_keeps_time_finite():
+    eng = Engine()
+    assert eng.run_until(float("inf")) == 0.0
+    assert eng.now == 0.0
+    eng.schedule(1.0, lambda _: None, None)  # must not raise
+    eng.run()
+
+
+@pytest.mark.parametrize("deadline", [float("nan"), float("-inf")])
+def test_run_until_other_nonfinite_deadlines_mean_no_deadline(deadline):
+    """The other half of the normalization: ``nan`` and ``-inf`` can't be
+    meaningful deadlines either (``now <= nan`` is always false, and a
+    ``-inf`` deadline would "complete" without processing anything while
+    claiming time went backwards) — both get run() semantics instead of
+    being assigned to ``now``."""
+    seen = []
+    eng = Engine()
+    for t in (1.0, 2.0):
+        eng.schedule(t, seen.append, t)
+    end = eng.run_until(deadline)
+    assert seen == [1.0, 2.0]
+    assert end == 2.0 and eng.now == 2.0
+    eng.schedule(3.0, seen.append, 3.0)
+    eng.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_run_until_finite_deadline_still_advances_now():
+    """The normalization must not leak into the finite case: a finite
+    deadline past the last event still fast-forwards ``now`` to it."""
+    eng = Engine()
+    eng.schedule(1.0, lambda _: None, None)
+    assert eng.run_until(10.0) == 10.0
+    assert eng.now == 10.0
 
 
 def test_shuffle_mode_is_deterministic_per_seed():

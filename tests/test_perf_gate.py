@@ -1,0 +1,176 @@
+"""Tests for ``benchmarks/check_perf_baseline.py`` — the CI perf gate.
+
+The gate is a standalone script (not part of the ``repro`` package), so
+it is loaded by file path.  Every hardened failure mode gets a test:
+silent passes are exactly what the gate exists to prevent, so each hole
+that was closed (skipped-missing points, zero baselines, inverted
+thresholds, schema drift) is pinned here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_perf_baseline.py"
+_spec = importlib.util.spec_from_file_location("check_perf_baseline", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _point(app="T-AlexNet", design="Sh40", scale=1.0, eps=200_000.0,
+           fp="f" * 64, **extra):
+    p = {
+        "app": app, "design": design, "scale": scale,
+        "events": 432468, "wall_s": 2.0,
+        "events_per_s": eps, "fingerprint_sha256": fp,
+    }
+    p.update(extra)
+    return p
+
+
+def _doc(points, schema_version=1):
+    return {"schema_version": schema_version, "points": points}
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return str(path)
+
+
+def _run(tmp_path, base_doc, fresh_doc, *extra_args):
+    base = _write(tmp_path, "base.json", base_doc)
+    fresh = _write(tmp_path, "fresh.json", fresh_doc)
+    return gate.main([base, fresh, *extra_args])
+
+
+def test_equal_docs_pass(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point()]), _doc([_point()]))
+    assert rc == 0
+    assert "[ok]" in capsys.readouterr().out
+
+
+def test_drop_beyond_fail_pct_fails(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point(eps=200_000)]),
+              _doc([_point(eps=100_000)]))  # -50% vs default --fail-pct 25
+    assert rc == 1
+    assert "[FAIL]" in capsys.readouterr().out
+
+
+def test_drop_in_warn_band_passes_with_warning(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point(eps=200_000)]),
+              _doc([_point(eps=170_000)]))  # -15%: warn, not fail
+    assert rc == 0
+    assert "[warn]" in capsys.readouterr().out
+
+
+def test_speedup_passes(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point(eps=200_000)]),
+              _doc([_point(eps=500_000)]))
+    assert rc == 0
+    assert "[ok]" in capsys.readouterr().out
+
+
+def test_fingerprint_mismatch_is_config_error(tmp_path):
+    rc = _run(tmp_path, _doc([_point(fp="a" * 64)]),
+              _doc([_point(fp="b" * 64)]))
+    assert rc == 2
+
+
+def test_schema_version_mismatch_is_config_error(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point()], schema_version=1),
+              _doc([_point()], schema_version=2))
+    assert rc == 2
+    assert "schema_version" in capsys.readouterr().err
+
+
+def test_missing_in_fresh_fails(tmp_path, capsys):
+    """A baseline point the fresh run skipped must FAIL, not '[skip]'."""
+    two = [_point(), _point(app="C-SP", eps=100_000)]
+    rc = _run(tmp_path, _doc(two), _doc([_point()]))
+    assert rc == 1
+    assert "not measured in fresh run" in capsys.readouterr().out
+
+
+def test_allow_missing_restores_skip(tmp_path, capsys):
+    two = [_point(), _point(app="C-SP", eps=100_000)]
+    rc = _run(tmp_path, _doc(two), _doc([_point()]), "--allow-missing")
+    assert rc == 0
+    assert "[skip]" in capsys.readouterr().out
+
+
+def test_all_points_missing_is_error_even_with_allow_missing(tmp_path):
+    """--allow-missing can skip points, but comparing nothing never passes."""
+    rc = _run(tmp_path, _doc([_point()]),
+              _doc([_point(app="C-SP")]), "--allow-missing")
+    assert rc == 2
+
+
+@pytest.mark.parametrize("eps", [0, 0.0, -5.0, None])
+def test_zero_or_bad_baseline_events_per_s_is_config_error(tmp_path, eps, capsys):
+    """events_per_s == 0 in the baseline made every drop compute as 0%
+    — the gate could never fire.  Now it's a gate-configuration error."""
+    base = _doc([_point(eps=eps)])
+    rc = _run(tmp_path, base, _doc([_point(eps=100.0)]))
+    assert rc == 2
+    assert "events_per_s" in capsys.readouterr().err
+
+
+def test_missing_events_per_s_field_is_config_error(tmp_path):
+    p = _point()
+    del p["events_per_s"]
+    rc = _run(tmp_path, _doc([p]), _doc([_point()]))
+    assert rc == 2
+
+
+def test_warn_pct_above_fail_pct_rejected(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point()]), _doc([_point()]),
+              "--warn-pct", "30", "--fail-pct", "25")
+    assert rc == 2
+    assert "--warn-pct" in capsys.readouterr().err
+
+
+def test_warn_pct_equal_fail_pct_allowed(tmp_path):
+    rc = _run(tmp_path, _doc([_point()]), _doc([_point()]),
+              "--warn-pct", "25", "--fail-pct", "25")
+    assert rc == 0
+
+
+def test_no_common_points_missing_keeps_perf_failure_code(tmp_path):
+    # the baseline point is missing-in-fresh: that perf failure (exit 1)
+    # is not relabelled by the nothing-compared check
+    rc = _run(tmp_path, _doc([_point()]), _doc([_point(app="C-SP")]))
+    assert rc == 1
+
+
+def test_no_common_points_without_failures_is_config_error(tmp_path):
+    # both docs empty: nothing failed, but comparing nothing never passes
+    rc = _run(tmp_path, _doc([]), _doc([]))
+    assert rc == 2
+
+
+def test_fresh_only_point_reported_not_failed(tmp_path, capsys):
+    rc = _run(tmp_path, _doc([_point()]),
+              _doc([_point(), _point(app="C-SP")]))
+    assert rc == 0
+    assert "[new]" in capsys.readouterr().out
+
+
+def test_unreadable_input_is_config_error(tmp_path):
+    fresh = _write(tmp_path, "fresh.json", _doc([_point()]))
+    with pytest.raises(SystemExit) as exc:
+        gate.main([str(tmp_path / "nope.json"), fresh])
+    assert exc.value.code == 2
+
+
+def test_non_engine_document_is_config_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    fresh = _write(tmp_path, "fresh.json", _doc([_point()]))
+    with pytest.raises(SystemExit) as exc:
+        gate.main([str(bad), fresh])
+    assert exc.value.code == 2

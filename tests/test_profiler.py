@@ -73,9 +73,31 @@ def test_render_contains_table_and_footer():
     text = prof.render()
     assert "handler" in text and "events/s" in text
     assert "total" in text
-    # top=1 limits the per-handler rows but keeps the totals.
+    # An untruncated table needs no coverage disclaimer.
+    assert "hidden" not in text
+
+
+def test_render_truncated_table_labels_its_coverage():
+    """``render(top=N)`` used to print the 100% total row right under the
+    truncated rows — a top-5 table read as if those 5 handlers were the
+    whole profile.  Truncation now states what it hides."""
+    prof = EventProfiler(clock=_FakeClock())
+    _run_profiled(prof)  # two handlers
     top = prof.render(top=1)
-    assert len(top.splitlines()) < len(text.splitlines())
+    assert "top 1 of 2 handlers" in top
+    assert "1 hidden" in top
+    # the stated coverage is the shown rows' pct, not 100
+    shown_pct = prof.rows()[0].pct
+    assert f"({shown_pct:.1f}% of self-time)" in top
+    # the total row still aggregates every handler (full event count)
+    assert f"{prof.total_events:>10}" in top
+
+
+def test_render_top_at_or_above_row_count_is_not_truncated():
+    prof = EventProfiler(clock=_FakeClock())
+    _run_profiled(prof)
+    assert "hidden" not in prof.render(top=2)
+    assert "hidden" not in prof.render(top=99)
 
 
 def test_render_empty_profile_does_not_crash():

@@ -281,3 +281,83 @@ def test_wavefront_materializes_streams_to_plain_ints():
     assert wf.next_access() == (6, 1)
     assert wf.next_access() == (7, 0)
     assert wf.next_access() is None
+
+
+# ------------------------------------------------ SimVec batched dispatch
+#
+# GPUSystem.force_scalar_dispatch() is the SimVec differential confirmer:
+# same fast wiring, but every event runs its scalar fast twin one call at
+# a time instead of per-run through the batch twins.  Batched, scalar and
+# forced-slow runs of one config must produce one fingerprint — that
+# identity is the batch twins' (and the fused specialized twins') whole
+# contract.  Sh40/T-AlexNet engages the specialized single-cluster fused
+# twins; the other points cover the generic batch twins and designs where
+# specialization declines.
+
+
+def _three_way_hashes(app, spec, scale=0.1, **cfg_kw):
+    cfg = SimConfig(scale=scale, **cfg_kw)
+    batched = GPUSystem(app, spec, cfg).run()
+    scalar_sys = GPUSystem(app, spec, cfg)
+    scalar_sys.force_scalar_dispatch()
+    scalar = scalar_sys.run()
+    slow_sys = GPUSystem(app, spec, cfg)
+    slow_sys.force_slow_path()
+    slow = slow_sys.run()
+    return (
+        fingerprint_hash(batched), fingerprint_hash(scalar),
+        fingerprint_hash(slow),
+    )
+
+
+@pytest.mark.parametrize(
+    "app_name, design",
+    [
+        ("T-AlexNet", "Sh40"),       # specialized fused twins engage
+        ("T-AlexNet", "Baseline"),   # coupled: no DC-L1 level
+        ("T-ResNet", "Pr40"),        # private homes
+        ("C-SP", "Sh40+C10"),        # clustered: generic twins only
+    ],
+)
+def test_batched_dispatch_matches_scalar_and_slow(app_name, design):
+    b, s, sl = _three_way_hashes(get_app(app_name), DESIGNS[design])
+    assert b == s, f"batched != scalar on {app_name}/{design}"
+    assert b == sl, f"batched != slow on {app_name}/{design}"
+
+
+def test_batched_dispatch_matches_scalar_with_q1_credits():
+    # Finite node queues route issue through _enter_node; the specialized
+    # twins must decline and the generic twins must still be bit-exact.
+    b, s, sl = _three_way_hashes(
+        get_app("T-AlexNet"), DESIGNS["Sh40"], dcl1_queue_depth=4
+    )
+    assert b == s == sl
+
+
+def test_specialized_twins_engage_on_the_headline_config():
+    """Guard against the identity tests passing vacuously: on the
+    Sh40/T-AlexNet shape the fused specialized twins must actually be
+    registered (a silent eligibility regression would quietly hand the
+    headline benchmark back to the scalar path)."""
+    sys_ = GPUSystem(get_app("T-AlexNet"), DESIGNS["Sh40"],
+                     SimConfig(scale=0.05))
+    twins = sys_.engine._batch_handlers
+    issue_fn = sys_._wf_issue.__func__
+    assert issue_fn in twins
+    # the registered twin is the fused closure, not the generic method
+    assert twins[issue_fn].__qualname__.startswith(
+        "GPUSystem._make_spec_twins"
+    )
+    assert sys_._l1_access.__func__ in twins
+    assert sys_._complete.__func__ in twins
+
+
+def test_specialized_twins_decline_on_clustered_shape():
+    sys_ = GPUSystem(get_app("C-SP"), DESIGNS["Sh40+C10"],
+                     SimConfig(scale=0.05))
+    twins = sys_.engine._batch_handlers
+    issue_twin = twins.get(sys_._wf_issue.__func__)
+    assert issue_twin is not None  # generic batch twin still wired
+    assert not issue_twin.__qualname__.startswith(
+        "GPUSystem._make_spec_twins"
+    )
