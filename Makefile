@@ -95,6 +95,7 @@ profile:
 # commit the refreshed json to re-baseline).
 perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_engine.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q
 
 figures:
 	$(PYTHON) examples/paper_figures.py --all --scale $(SCALE)

@@ -15,9 +15,6 @@ hardware, and the regression thresholds live in the CI gate where a
 noisy runner can be re-tried without invalidating the simulation.
 """
 
-import hashlib
-import json
-
 from harness import record_engine_point
 
 from repro.core.designs import DesignSpec
@@ -33,8 +30,7 @@ GOLDEN_SCALE_1 = "ca1e6b42fd1c84d054d5058959da554e794eabc35c13b1c8ff431c71e19f6f
 
 
 def _hash(res) -> str:
-    blob = json.dumps(res.fingerprint(), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
+    return res.fingerprint_sha256()
 
 
 def test_bench_engine(benchmark, results_dir):

@@ -80,7 +80,7 @@ import ast
 import re
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.simlint import ModuleContext, Severity, iter_python_files
 from repro.analysis.simrace import (
@@ -94,6 +94,7 @@ __all__ = [
     "ShardProbe",
     "ShardReport",
     "WORKER_SAFE_GLOBALS",
+    "WORKER_MEMO_GLOBALS",
     "DEFAULT_CONFIRM_GRID",
     "shard_source",
     "run_shard",
@@ -120,9 +121,11 @@ SHARD_RULES: List[Tuple[str, Severity, str]] = [
 ]
 
 #: Module globals worker-reachable code may read even though they are
-#: mutable containers: each is rebuilt *identically* by module import in
-#: every pool process (fork and spawn alike), so reads replicate and the
-#: sweep layer never writes them post-import.  The value documents why.
+#: mutable containers: each is either rebuilt *identically* by module
+#: import in every pool process (fork and spawn alike), so reads
+#: replicate and the sweep layer never writes them post-import, or is a
+#: declared per-process memoization cache (see
+#: :data:`WORKER_MEMO_GLOBALS`).  The value documents why.
 WORKER_SAFE_GLOBALS: Dict[str, str] = {
     "EXPERIMENTS": "experiment registry, populated deterministically at "
                    "import time; identical in every worker process",
@@ -130,7 +133,19 @@ WORKER_SAFE_GLOBALS: Dict[str, str] = {
                  "after import",
     "_NAMED_DESIGNS": "CLI design-label table literal; never mutated "
                       "after import",
+    "_STREAM_CACHE": "per-worker workload LRU (repro.sim.fleet): a pure "
+                     "memoization cache keyed by the profile cache key — "
+                     "hits are bit-identical to recomputation and entries "
+                     "never flow back to the parent",
 }
+
+#: The subset of :data:`WORKER_SAFE_GLOBALS` that worker-reachable code
+#: may also *mutate*: per-process memoization caches whose entries are
+#: pure functions of their key, so a hit is bit-identical to
+#: recomputation and per-worker divergence of cache *contents* cannot
+#: produce per-worker divergence of results.  Anything else that writes
+#: a module global in a worker stays an SD502 error.
+WORKER_MEMO_GLOBALS: FrozenSet[str] = frozenset({"_STREAM_CACHE"})
 
 #: Path fragments marking the sweep/experiment/store layers the
 #: per-module rules cover.  ``<string>`` sources (unit-test fixtures)
@@ -261,7 +276,8 @@ def _is_pool_ctor(call: ast.Call, mctx: ModuleContext) -> bool:
 
 def _pool_names(func: ast.AST, mctx: ModuleContext) -> Set[str]:
     """Local names bound to a pool object inside ``func``
-    (``with ProcessPoolExecutor(...) as pool:`` / ``pool = Pool(...)``)."""
+    (``with ProcessPoolExecutor(...) as pool:`` / ``pool = Pool(...)`` /
+    the fleet idiom ``pool = <fleet>.acquire(...)``)."""
     names: Set[str] = set()
     for node in ast.walk(func):
         if isinstance(node, ast.With):
@@ -277,7 +293,16 @@ def _pool_names(func: ast.AST, mctx: ModuleContext) -> Set[str]:
             and len(node.targets) == 1
             and isinstance(node.targets[0], ast.Name)
             and isinstance(node.value, ast.Call)
-            and _is_pool_ctor(node.value, mctx)
+            and (
+                _is_pool_ctor(node.value, mctx)
+                # WorkerFleet acquisition: the pool is handed out by the
+                # persistent fleet instead of a constructor, but what
+                # crosses its .map()/.submit() is still a pool boundary.
+                or (
+                    isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "acquire"
+                )
+            )
         ):
             names.add(node.targets[0].id)
     return names
@@ -373,6 +398,40 @@ def _worker_names(boundaries: List[_Boundary],
     for b in boundaries:
         if isinstance(b.worker, ast.Name) and b.worker.id in module_fns:
             names.add(b.worker.id)
+    return names
+
+
+def _manifest_workers(tree: ast.Module) -> Set[str]:
+    """Workers declared in a module-level ``SIMSHARD_WORKERS`` manifest.
+
+    Boundary detection is same-module by design, so a module that only
+    *exports* worker callables (e.g. :mod:`repro.sim.fleet`, whose
+    ``_fleet_run`` crosses a pool mapped by the experiments layer) would
+    otherwise have no worker roots and escape SD502/SD503 analysis.
+    Such modules declare their exported workers in a module-level tuple
+    of string constants::
+
+        SIMSHARD_WORKERS = ("_fleet_run",)
+
+    and SimShard seeds its reachability roots from it.
+    """
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "SIMSHARD_WORKERS"
+            for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.add(elt.value)
     return names
 
 
@@ -514,7 +573,12 @@ def _check_worker_globals(
     emit,
 ) -> None:
     """SD502: reads/writes of mutable module globals in worker-reachable
-    code, diffed against :data:`WORKER_SAFE_GLOBALS`."""
+    code, diffed against :data:`WORKER_SAFE_GLOBALS`.
+
+    Names in :data:`WORKER_MEMO_GLOBALS` are exempt from the mutation
+    checks: they are declared per-process memoization caches whose hits
+    are bit-identical to recomputation, so per-worker divergence of the
+    *cache contents* cannot diverge results."""
     for name, fn in sorted(reachable.items()):
         consumed: Set[ast.AST] = set()
         for node in ast.walk(fn):
@@ -531,6 +595,7 @@ def _check_worker_globals(
                 and isinstance(node.func, ast.Attribute)
                 and isinstance(node.func.value, ast.Name)
                 and node.func.value.id in mutable_globals
+                and node.func.value.id not in WORKER_MEMO_GLOBALS
                 and node.func.attr in MUTATING_METHODS
             ):
                 consumed.add(node.func.value)
@@ -545,6 +610,7 @@ def _check_worker_globals(
                 isinstance(node, ast.Subscript)
                 and isinstance(node.value, ast.Name)
                 and node.value.id in mutable_globals
+                and node.value.id not in WORKER_MEMO_GLOBALS
                 and isinstance(node.ctx, (ast.Store, ast.Del))
             ):
                 consumed.add(node.value)
@@ -934,7 +1000,9 @@ def _module_findings(
 
     boundaries = _boundaries(tree, mctx)
     module_fns = _module_functions(tree)
-    workers = _worker_names(boundaries, module_fns)
+    workers = _worker_names(boundaries, module_fns) | (
+        _manifest_workers(tree) & set(module_fns)
+    )
     reachable = _reachable_functions(workers, module_fns)
     mutable_globals = _mutable_module_globals(tree)
 
@@ -1016,7 +1084,7 @@ DEFAULT_CONFIRM_GRID: Tuple[Tuple[str, str], ...] = (
 #: result serialization).  Findings outside these stay UNOBSERVED.
 _EXERCISED_PARTS = (
     "repro/experiments/base", "repro/sim/store", "repro/sim/results",
-    "repro/sim/config", "repro/sim/validation",
+    "repro/sim/config", "repro/sim/validation", "repro/sim/fleet",
     "repro/workloads/profile", "repro/core/designs",
 )
 
@@ -1026,7 +1094,7 @@ class ShardProbe:
     """One dynamic distribution probe and its verdict."""
 
     kind: str      # pre-flight | pickle-roundtrip | result-roundtrip
-                   # | context-identity
+                   # | context-identity | fleet-reuse
     target: str    # e.g. "grid point P-2MM/Pr40" or "spawn-pool vs serial"
     ok: bool
     detail: str = ""
@@ -1118,6 +1186,11 @@ def confirm_shard(
       bit-identical to the serial run, in submission order, with the
       same ``sims_run`` accounting — and the pool path must actually
       have been taken.
+    * **fleet-reuse** — when SimFleet is enabled, a second sweep through
+      a *fresh* Runner must acquire the already-warm pool (no new cold
+      start) and still produce fingerprints bit-identical to serial: the
+      persistent workers and their stream caches carry no state that
+      leaks into results.
     """
     # Lazy imports: repro.sim.system imports repro.analysis at module
     # load, so importing the sim layer here (not at module top) avoids
@@ -1205,6 +1278,27 @@ def confirm_shard(
             )
         report.probes.append(ShardProbe(
             "context-identity", f"{ctx_name}-pool vs serial",
+            not problems, "; ".join(problems),
+        ))
+
+    from repro.sim.fleet import fleet_env_enabled
+
+    if contexts and fleet_env_enabled():
+        # The context-identity sweeps above already spun the fleet up;
+        # a fresh Runner over the same grid must reuse it warm.
+        ctx_name = contexts[0]
+        warm = Runner(cfg, jobs=max(2, jobs), cache=False)
+        results = warm.run_many(sweep, mp_context=ctx_name, par_min_points=2)
+        problems = []
+        for fp, res in zip(base_fps, results):
+            problems.extend(diff_fingerprints(fp, res.fingerprint()))
+        problems = list(dict.fromkeys(problems))[:4]
+        if warm.fleet_stats.get("cold_starts", 0.0):
+            problems.append("warm re-acquire cold-started a new pool")
+        if not warm.fleet_stats.get("warm_acquires", 0.0):
+            problems.append("fleet pool was not reused")
+        report.probes.append(ShardProbe(
+            "fleet-reuse", f"warm {ctx_name}-fleet vs serial",
             not problems, "; ".join(problems),
         ))
     return report

@@ -1,0 +1,402 @@
+"""SimFleet: a persistent, warm, process-wide worker pool for sweeps.
+
+:meth:`repro.experiments.base.Runner.run_many` historically constructed a
+fresh ``ProcessPoolExecutor`` per call.  Every sweep then paid the full
+spin-up tax again — interpreter forks/spawns, module imports, payload
+pickling — which is how the ROADMAP's 24-point measurement ended up with
+parallel-cold *slower* than serial-cold.  This module amortizes that tax
+into reusable batch machinery:
+
+* :class:`WorkerFleet` — a process-wide registry of live pools keyed by
+  ``(start-method, width)``.  The first ``acquire()`` for a key pays the
+  cold start (pool construction plus a warm barrier that forces every
+  worker to spawn and pre-import the sim stack); every later ``acquire()``
+  returns the same live pool in microseconds.  ``shutdown()`` is explicit
+  and also registered via ``atexit``, and ``REPRO_FLEET=0`` opts back out
+  to the legacy per-call pool.
+* **Worker-side stream caching** — :func:`_fleet_run` materializes each
+  point's NumPy access streams through a small per-worker LRU keyed by
+  the *profile* component of the cache key, so a grid that visits the
+  same :class:`~repro.workloads.profile.AppProfile` under many designs
+  generates its workload once per worker, not once per point.  Cache
+  hits are bit-identical to recomputation (generation is a pure function
+  of the profile and scale), so results cannot depend on hit/miss luck.
+* **Slim result transport** — when the parent runs a
+  :class:`~repro.sim.store.DiskResultCache`, workers persist their own
+  result and return only ``(tag, cache_key, fingerprint sha, wall s,
+  events/s)`` instead of pickling the full :class:`SimResult` across the
+  pipe; the parent rehydrates from disk and audits the fingerprint.
+* **Adaptive chunking and largest-first ordering** —
+  :func:`adaptive_chunksize` replaces the old hard-coded ``chunksize=1``
+  and :func:`order_by_estimated_work` fronts the heaviest points so the
+  straggler tail shrinks.
+
+Everything here is sweep *orchestration*: none of the knobs (fleet
+on/off, chunk size, stream-cache capacity) can change what a simulation
+computes, only how fast the grid drains — the identity tests pin
+``result_fingerprints()`` equality across serial, fleet and legacy paths.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.store import DiskResultCache, profile_cache_key, sim_cache_key
+from repro.sim.system import simulate
+from repro.workloads.generator import Workload, generate_workload
+
+__all__ = [
+    "FLEET_ENV",
+    "CHUNK_ENV",
+    "STREAM_CACHE_ENV",
+    "SLIM_TAG",
+    "WorkerFleet",
+    "fleet_env_enabled",
+    "chunksize_from_env",
+    "stream_cache_cap_from_env",
+    "adaptive_chunksize",
+    "estimate_work",
+    "order_by_estimated_work",
+    "materialize_workload",
+    "get_fleet",
+    "shutdown_fleet",
+]
+
+#: ``REPRO_FLEET=0`` opts out of the persistent fleet: ``run_many`` falls
+#: back to constructing one pool per call (the pre-fleet behaviour).
+FLEET_ENV = "REPRO_FLEET"
+
+#: ``REPRO_CHUNK=N`` pins the ``pool.map`` chunksize; unset means
+#: :func:`adaptive_chunksize` picks one from the miss count and width.
+CHUNK_ENV = "REPRO_CHUNK"
+
+#: ``REPRO_STREAM_CACHE=N`` caps the per-worker workload LRU (number of
+#: distinct (profile, scale) stream sets kept alive); ``0`` disables it.
+STREAM_CACHE_ENV = "REPRO_STREAM_CACHE"
+
+#: First element of a slim-transport payload returned by :func:`_fleet_run`
+#: in place of a full pickled :class:`SimResult`.
+SLIM_TAG = "__simfleet_slim__"
+
+#: SimShard worker-root manifest: module-level functions of *this* module
+#: that cross a pool boundary as worker callables from other modules
+#: (``Runner.run_many`` maps :func:`_fleet_run`), so the static
+#: worker-reachability closure starts from them even though no
+#: ``pool.map`` call site is visible here.
+SIMSHARD_WORKERS: Tuple[str, ...] = ("_fleet_run",)
+
+
+# ----------------------------------------------------------- env resolvers
+
+
+def fleet_env_enabled(default: bool = True) -> bool:
+    """Resolve ``REPRO_FLEET`` once (declared input resolver, SimPure
+    SP401): the persistent fleet is on unless the variable is ``0``.
+
+    The value is pure orchestration — fleet and legacy pools run the same
+    worker logic on the same frozen points, so it is fingerprint-neutral
+    by construction (pinned by the fleet identity tests).
+    """
+    raw = os.environ.get(FLEET_ENV)
+    if raw is None or raw == "":
+        return default
+    return raw != "0"
+
+
+def chunksize_from_env(default: Optional[int] = None) -> Optional[int]:
+    """Resolve ``REPRO_CHUNK`` once: an explicit ``pool.map`` chunksize,
+    or ``None`` to let :func:`adaptive_chunksize` choose.  Malformed
+    values warn and fall back (mirroring ``env_jobs``); values below 1
+    are clamped to 1.
+    """
+    raw = os.environ.get(CHUNK_ENV)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {CHUNK_ENV}={raw!r} (not an int); "
+            "using adaptive chunking",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return max(1, value)
+
+
+def stream_cache_cap_from_env(default: int = 8) -> int:
+    """Resolve ``REPRO_STREAM_CACHE`` once: the per-worker workload-LRU
+    capacity.  ``0`` disables the cache (every point regenerates its
+    streams); malformed values warn and fall back; negatives clamp to 0.
+    """
+    raw = os.environ.get(STREAM_CACHE_ENV)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {STREAM_CACHE_ENV}={raw!r} (not an int); "
+            f"using capacity {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return max(0, value)
+
+
+# ------------------------------------------------------- scheduling helpers
+
+
+def adaptive_chunksize(n_tasks: int, width: int) -> int:
+    """Chunksize for ``pool.map`` over ``n_tasks`` misses on ``width``
+    workers: about four waves per worker, capped at 8.
+
+    ``chunksize=1`` maximizes balance but pays one IPC round trip per
+    point; huge chunks amortize IPC but let one unlucky worker hold the
+    whole tail.  Four waves keeps the tail short even when per-point cost
+    varies by the ~10x spread real grids show, while cutting round trips
+    by the chunk factor.
+    """
+    if n_tasks <= 0 or width <= 0:
+        return 1
+    return max(1, min(8, -(-n_tasks // (max(1, width) * 4))))
+
+
+def estimate_work(point: Tuple) -> int:
+    """Relative cost estimate of one resolved (profile, spec, config)
+    point: its total access count at the configured scale.  Event count
+    tracks accesses closely enough for scheduling (it only needs rank
+    order, not absolute cost)."""
+    profile, _spec, cfg = point
+    return int(profile.scaled(cfg.scale).total_accesses)
+
+
+def order_by_estimated_work(points: Sequence[Tuple]) -> List[Tuple]:
+    """Misses reordered largest-estimated-work-first (ties keep submission
+    order, so the ordering is deterministic).  Heavy points dispatched
+    first cannot land at the end of the schedule and stretch the tail."""
+    indexed = list(enumerate(points))
+    indexed.sort(key=lambda pair: (-estimate_work(pair[1]), pair[0]))
+    return [p for _i, p in indexed]
+
+
+# ------------------------------------------------------ worker-side helpers
+
+#: Per-worker workload LRU: (profile key, scale) -> materialized
+#: :class:`Workload`.  Declared in SimShard's ``WORKER_SAFE_GLOBALS``
+#: (and its memo subset): generation is a pure function of the key, so a
+#: hit is bit-identical to recomputation, and entries never flow back to
+#: the parent — each pool process simply avoids regenerating streams it
+#: has already built.
+_STREAM_CACHE: "OrderedDict[Tuple[str, float], Workload]" = OrderedDict()
+
+
+def materialize_workload(profile, scale: float) -> Workload:
+    """The workload for ``profile`` at ``scale``, served from the
+    per-process LRU when possible.
+
+    Safe to share across simulations in one process: ``GPUSystem`` only
+    *reads* a workload's streams (wavefronts copy the line/kind arrays at
+    bind time), and generation is deterministic, so a cached workload is
+    indistinguishable from a fresh one.
+    """
+    cap = stream_cache_cap_from_env()
+    if cap <= 0:
+        return generate_workload(profile, scale)
+    key = (profile_cache_key(profile), float(scale))
+    wl = _STREAM_CACHE.get(key)
+    if wl is None:
+        wl = generate_workload(profile, scale)
+        _STREAM_CACHE[key] = wl
+        while len(_STREAM_CACHE) > cap:
+            _STREAM_CACHE.popitem(last=False)
+    else:
+        _STREAM_CACHE.move_to_end(key)
+    return wl
+
+
+def _fleet_warm_init() -> None:
+    """Pool initializer: pre-import the sim stack so the first real task
+    a worker receives does not pay import latency.  Everything imported
+    here is already a (transitive) import of this module, so under fork
+    this is a no-op and under spawn it front-loads the worker's import
+    cost into the warm barrier."""
+    import repro.experiments.base      # noqa: F401
+    import repro.sim.system            # noqa: F401
+    import repro.workloads.suite       # noqa: F401
+
+
+def _fleet_warm(index: int) -> int:
+    """Warm-barrier task: forces worker processes to actually spawn (the
+    executor creates them lazily) and proves each can round-trip a task.
+    Returns its pid so the barrier can report how many workers answered."""
+    return os.getpid()
+
+
+def _fleet_run(task: Tuple) -> object:
+    """Fleet pool worker: one simulation from its frozen inputs.
+
+    ``task`` is ``(point, cache_root)`` where ``point`` is the resolved
+    (profile, spec, config) triple and ``cache_root`` is the parent's
+    :class:`DiskResultCache` root (or ``None`` when no disk cache is
+    active).  With a cache root the worker persists the result itself and
+    returns the slim ``(SLIM_TAG, key, fingerprint sha, wall s,
+    events/s)`` tuple — the parent rehydrates from disk instead of
+    unpickling a heavy :class:`SimResult`; without one it returns the
+    full result exactly like the legacy ``_simulate_point`` worker.
+    """
+    point, cache_root = task
+    profile, spec, cfg = point
+    workload = materialize_workload(profile, cfg.scale)
+    result = simulate(workload, spec, cfg)
+    if cache_root is None:
+        return result
+    key = sim_cache_key(profile, spec, cfg)
+    DiskResultCache(cache_root).put(key, result)
+    return (
+        SLIM_TAG,
+        key,
+        result.fingerprint_sha256(),
+        result.wall_time_s,
+        result.events_per_s,
+    )
+
+
+# ------------------------------------------------------------ the fleet
+
+
+class WorkerFleet:
+    """Process-wide registry of live, warm process pools.
+
+    Pools are keyed by ``(start-method, width)`` so a fork sweep and a
+    spawn sweep (or different widths) never share workers, and are
+    created lazily on first :meth:`acquire`.  The fleet never shrinks on
+    its own: pools live until :meth:`shutdown` (or :meth:`invalidate`
+    after a broken-pool error), which is what makes the second sweep of a
+    session nearly spin-up-free.
+    """
+
+    def __init__(self) -> None:
+        self._pools: Dict[Tuple[str, int], ProcessPoolExecutor] = {}
+        #: Cold pool constructions (spin-up paid) vs warm reuses.
+        self.cold_starts = 0
+        self.warm_acquires = 0
+        #: Total wall seconds spent constructing + warming pools.
+        self.spinup_wall_s = 0.0
+
+    @staticmethod
+    def _method_of(
+        mp_context: Union[str, multiprocessing.context.BaseContext, None],
+    ) -> str:
+        if isinstance(mp_context, str):
+            return mp_context
+        if mp_context is not None:
+            return mp_context.get_start_method()
+        return multiprocessing.get_start_method()
+
+    def acquire(
+        self,
+        width: int,
+        mp_context: Union[str, multiprocessing.context.BaseContext, None] = None,
+    ) -> ProcessPoolExecutor:
+        """A live pool of ``width`` workers under ``mp_context``'s start
+        method — warm when one exists, freshly constructed (and warmed
+        through the barrier) otherwise."""
+        width = max(1, int(width))
+        method = self._method_of(mp_context)
+        key = (method, width)
+        pool = self._pools.get(key)
+        if pool is not None:
+            self.warm_acquires += 1
+            return pool
+        ctx = multiprocessing.get_context(method)
+        # Spin-up is host observability (recorded in fleet stats and the
+        # sweep baseline), never simulated behaviour.
+        t0 = time.perf_counter()  # simlint: disable=SL101
+        pool = ProcessPoolExecutor(
+            max_workers=width, mp_context=ctx, initializer=_fleet_warm_init
+        )
+        # Warm barrier: one trivial task per worker forces the executor
+        # to spawn its full complement now (it creates processes lazily),
+        # so the first real sweep is not serialized behind worker starts.
+        list(pool.map(_fleet_warm, range(width)))
+        self.spinup_wall_s += time.perf_counter() - t0  # simlint: disable=SL101
+        self._pools[key] = pool
+        self.cold_starts += 1
+        return pool
+
+    def stats(self) -> Dict[str, float]:
+        """Reuse counters snapshot (consumed by ``Runner`` accounting)."""
+        return {
+            "cold_starts": float(self.cold_starts),
+            "warm_acquires": float(self.warm_acquires),
+            "spinup_wall_s": self.spinup_wall_s,
+            "live_pools": float(len(self._pools)),
+        }
+
+    def invalidate(
+        self,
+        width: Optional[int] = None,
+        mp_context: Union[str, multiprocessing.context.BaseContext, None] = None,
+    ) -> None:
+        """Tear down one pool (or all, when ``width`` is ``None``): the
+        recovery path after a ``BrokenProcessPool``, where the dead
+        executor must not be handed out again."""
+        if width is None:
+            doomed = list(self._pools)
+        else:
+            doomed = [(self._method_of(mp_context), max(1, int(width)))]
+        for key in doomed:
+            pool = self._pools.pop(key, None)
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    def shutdown(self) -> None:
+        """Shut every pool down and forget it (stats are kept)."""
+        for pool in self._pools.values():
+            pool.shutdown(wait=True)
+        self._pools.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerFleet(pools={sorted(self._pools)}, "
+            f"cold={self.cold_starts}, warm={self.warm_acquires}, "
+            f"spinup={self.spinup_wall_s:.2f}s)"
+        )
+
+
+_FLEET: Optional[WorkerFleet] = None
+
+
+def get_fleet() -> WorkerFleet:
+    """The process-wide fleet, created on first use.
+
+    The singleton holds live pools only — never results or simulated
+    state — so it cannot bypass the cache key; results flow exclusively
+    through the frozen grid points and the worker return values.
+    """
+    global _FLEET  # simpure: disable=SP401 -- pool registry, not sim state
+    if _FLEET is None:
+        _FLEET = WorkerFleet()
+        atexit.register(shutdown_fleet)
+    return _FLEET
+
+
+def shutdown_fleet() -> None:
+    """Explicitly shut the fleet down (idempotent; also the atexit hook).
+
+    Tests use this to force a cold fleet; long-lived hosts can call it to
+    release worker processes between sweep bursts."""
+    global _FLEET  # simpure: disable=SP401 -- pool registry, not sim state
+    if _FLEET is not None:
+        _FLEET.shutdown()
+        _FLEET = None

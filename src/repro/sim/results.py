@@ -10,6 +10,8 @@ simulator.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, fields as dc_fields
 from typing import Dict, List, Tuple
 
@@ -218,6 +220,19 @@ class SimResult:
             data.pop(name, None)
         walk("", data)
         return flat
+
+    def fingerprint_sha256(self) -> str:
+        """SHA-256 of the canonical JSON of :meth:`fingerprint`.
+
+        A compact transport- and baseline-friendly identity: equal hashes
+        mean bit-identical fingerprints.  Used by SimFleet's slim result
+        transport (the worker ships the hash, the parent audits the
+        rehydrated result against it) and by the perf-baseline recorders.
+        """
+        blob = json.dumps(
+            self.fingerprint(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def __str__(self) -> str:
         return (

@@ -162,6 +162,25 @@ def sim_cache_key(profile: AppProfile, spec: DesignSpec, cfg: SimConfig) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def profile_cache_key(profile: AppProfile) -> str:
+    """Content-addressed key of the *profile component* of
+    :func:`sim_cache_key` alone.
+
+    Two grid points share this key exactly when they would generate the
+    same workload at the same scale — the sharing SimFleet's per-worker
+    stream cache exploits to materialize access streams once per worker
+    instead of once per point.  Canonicalization matches the full key
+    (fingerprint-neutral fields like ``AppProfile.suite`` are excluded),
+    so two profiles differing only in neutral fields share streams.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "profile": _canonical(profile),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class DiskResultCache:
     """Content-addressed on-disk :class:`SimResult` cache.
 

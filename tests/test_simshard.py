@@ -219,6 +219,109 @@ def test_non_worker_global_use_is_out_of_scope():
     assert findings == []
 
 
+def test_declared_memo_global_writes_are_allowed():
+    # _STREAM_CACHE is in WORKER_MEMO_GLOBALS: a per-process memoization
+    # cache whose hits are bit-identical to recomputation, so worker-side
+    # writes are sound by declaration.
+    from repro.analysis.simshard import WORKER_MEMO_GLOBALS
+
+    assert "_STREAM_CACHE" in WORKER_MEMO_GLOBALS
+    assert WORKER_MEMO_GLOBALS <= set(WORKER_SAFE_GLOBALS)
+    findings = _analyze(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        _STREAM_CACHE = {}
+
+        def _work(p):
+            if p not in _STREAM_CACHE:
+                _STREAM_CACHE[p] = p * 2
+            return _STREAM_CACHE[p]
+
+        def sweep(items):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(_work, items))
+        """
+    )
+    assert findings == []
+
+
+def test_undeclared_memo_like_global_is_still_flagged():
+    findings = _analyze(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        _MY_CACHE = {}
+
+        def _work(p):
+            _MY_CACHE[p] = p * 2
+            return _MY_CACHE[p]
+
+        def sweep(items):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(_work, items))
+        """
+    )
+    assert "SD502" in {f.rule_id for f in findings}
+    assert any(
+        f.severity is Severity.ERROR and "_MY_CACHE" in f.message
+        for f in findings
+    )
+
+
+def test_fleet_acquired_pool_is_a_boundary():
+    # `pool = fleet.acquire(...)` must be recognized as a pool binding so
+    # its .map() worker enters the reachability closure.
+    findings = _analyze(
+        """
+        from repro.sim.fleet import get_fleet
+
+        RESULTS = []
+
+        def _work(p):
+            RESULTS.append(p)
+            return p
+
+        def sweep(items):
+            pool = get_fleet().acquire(4)
+            return list(pool.map(_work, items))
+        """
+    )
+    assert [f.rule_id for f in findings] == ["SD502"]
+    assert "RESULTS" in findings[0].message
+
+
+def test_manifest_workers_seed_reachability():
+    # A module that only *exports* its worker (the boundary call lives in
+    # another module) declares it via SIMSHARD_WORKERS and is still
+    # analyzed.
+    findings = _analyze(
+        """
+        SIMSHARD_WORKERS = ("_work",)
+
+        RESULTS = []
+
+        def _work(p):
+            RESULTS.append(p)
+            return p
+        """
+    )
+    assert [f.rule_id for f in findings] == ["SD502"]
+    assert "RESULTS" in findings[0].message
+
+
+def test_manifest_with_unknown_names_is_ignored():
+    findings = _analyze(
+        """
+        SIMSHARD_WORKERS = ("_not_defined_here",)
+
+        def helper(p):
+            return p
+        """
+    )
+    assert findings == []
+
+
 # -------------------------------------------------- SD503 (fork-unsafety)
 
 
@@ -602,6 +705,8 @@ class TestConfirmShard:
         # One context-identity probe per available start method.
         kinds = counts["context-identity"]
         assert kinds[0] == kinds[1] >= 1
+        # A warm re-acquire of the fleet must have been probed too.
+        assert counts["fleet-reuse"] == (1, 1)
 
     def test_render_mentions_verdict(self, report):
         text = report.render()

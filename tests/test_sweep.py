@@ -89,7 +89,7 @@ class TestRunMany:
         r_serial = serial.run_many(self.GRID, jobs=1)
         r_spawn = spawned.run_many(
             self.GRID, jobs=2, mp_context="spawn", par_min_points=2)
-        assert spawned.sweep_paths.get("parallel[spawn]") == 1
+        assert spawned.sweep_paths.get("parallel[fleet:spawn]") == 1
         assert [a.fingerprint() for a in r_serial] == \
                [b.fingerprint() for b in r_spawn]
 
